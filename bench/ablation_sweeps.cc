@@ -1,0 +1,272 @@
+// Ablations of RTVirt's design parameters and section 6 extensions:
+//   1. VCPU budget slack (paper: 500 us) vs deadline misses;
+//   2. minimum global slice (paper: 250 us) vs overhead and tail latency;
+//   3. replan-on-wake vs sporadic tail latency;
+//   4. pEDF vs gEDF guest scheduling (paper section 3.2's design choice);
+//   5. CPU affinity (section 6) vs migrations;
+//   6. the idle tax (section 6) reclaiming hoarded bandwidth.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace rtvirt {
+namespace {
+
+// ---- 1. Budget slack sweep ----
+
+void SlackSweep() {
+  bench::Header("Ablation 1: VCPU budget slack vs deadline misses (NH-Inc group, 50 s)");
+  TablePrinter table({"slack", "reserved CPUs", "jobs", "misses", "miss ratio"});
+  const RtaGroup& group = kTable1Groups[5];
+  for (TimeNs slack : {Us(0), Us(50), Us(100), Us(250), Us(500), Ms(1)}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt);
+    cfg.channel.budget_slack = slack;
+    Experiment exp(cfg);
+    DeadlineMonitor mon;
+    std::vector<std::unique_ptr<PeriodicRta>> rtas;
+    for (size_t i = 0; i < group.rtas.size(); ++i) {
+      GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+      rtas.push_back(std::make_unique<PeriodicRta>(g, "rta" + std::to_string(i),
+                                                   group.rtas[i]));
+      rtas.back()->task()->set_observer(&mon);
+      rtas.back()->Start(0, Sec(50));
+    }
+    exp.Run(Sec(25));
+    Bandwidth reserved = exp.dpwrap()->total_reserved();
+    exp.Run(Sec(50) + Ms(300));
+    table.AddRow({TablePrinter::Fmt(ToUs(slack), 0) + " us", bench::Cpus(reserved),
+                  std::to_string(mon.total_completed()), std::to_string(mon.total_misses()),
+                  TablePrinter::Pct(mon.TotalMissRatio(), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "Slack pays for scheduling overheads: too little -> misses; the paper's\n"
+               "500 us eliminates them at ~2% extra bandwidth.\n";
+}
+
+// ---- 2. Minimum global slice sweep ----
+
+void MinSliceSweep() {
+  bench::Header("Ablation 2: minimum global slice vs overhead (memcached + 4 video VMs, 60 s)");
+  TablePrinter table({"min slice", "replans", "overhead %", "mc p99.9 (us)", "video misses"});
+  for (TimeNs min_slice : {Us(50), Us(100), Us(250), Us(500), Ms(1), Ms(2)}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt, 4);
+    cfg.dpwrap.min_global_slice = min_slice;
+    Experiment exp(cfg);
+    DeadlineMonitor video_mon;
+    DeadlineMonitor mc_mon;
+    std::vector<std::unique_ptr<PeriodicRta>> videos;
+    for (int i = 0; i < 4; ++i) {
+      GuestOs* g = exp.AddGuest("video" + std::to_string(i), 1);
+      videos.push_back(std::make_unique<PeriodicRta>(g, "v" + std::to_string(i),
+                                                     VlcParams(kVlcProfiles[i % 4].fps)));
+      videos.back()->task()->set_observer(&video_mon);
+      videos.back()->Start(0, Sec(60));
+    }
+    GuestOs* mc = exp.AddGuest("mc", 1);
+    bench::SetMicroSlack(exp, mc);
+    MemcachedServer server(mc, "mc", MemcachedConfig{}, exp.rng().Fork());
+    server.task()->set_observer(&mc_mon);
+    server.Start(0, Sec(60));
+    exp.Run(Sec(60) + Ms(100));
+    table.AddRow({TablePrinter::Fmt(ToUs(min_slice), 0) + " us",
+                  std::to_string(exp.dpwrap()->replans()),
+                  TablePrinter::Pct(exp.machine().overhead().Fraction(Sec(60), 4), 3),
+                  TablePrinter::Fmt(mc_mon.response_times_us().Percentile(99.9), 1),
+                  std::to_string(video_mon.total_misses()) + "/" +
+                      std::to_string(video_mon.total_completed())});
+  }
+  table.Print(std::cout);
+  std::cout << "Shorter slices track deadlines more closely but replan more often; the\n"
+               "paper's 250 us bounds the overhead without hurting the SLO.\n";
+}
+
+// ---- 3. Replan-on-wake ----
+
+void ReplanOnWake() {
+  bench::Header("Ablation 3: replan-on-wake vs sporadic tail latency (fig 5a RTVirt setup)");
+  TablePrinter table({"replan_on_wake", "mean (us)", "p99 (us)", "p99.9 (us)", "SLO met"});
+  for (bool on : {true, false}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt, 2);
+    cfg.dpwrap.replan_on_wake = on;
+    Experiment exp(cfg);
+    GuestOs* mc = exp.AddGuest("mc", 1);
+    bench::SetMicroSlack(exp, mc);
+    for (int i = 0; i < 19; ++i) {
+      exp.AddGuest("hog" + std::to_string(i), 1)->CreateBackgroundTask("bg");
+    }
+    DeadlineMonitor mon;
+    MemcachedServer server(mc, "mc", MemcachedConfig{}, exp.rng().Fork());
+    server.task()->set_observer(&mon);
+    server.Start(0, Sec(120));
+    exp.Run(Sec(120) + Ms(10));
+    const Samples& lat = mon.response_times_us();
+    table.AddRow({on ? "on (default)" : "off", TablePrinter::Fmt(lat.Mean(), 1),
+                  TablePrinter::Fmt(lat.Percentile(99), 1),
+                  TablePrinter::Fmt(lat.Percentile(99.9), 1),
+                  lat.Percentile(99.9) <= 500.0 ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::cout << "Without replan-on-wake a request waits for the VCPU's next segment\n"
+               "(up to a period); the paper's 379 us tail sits between the two modes.\n";
+}
+
+// ---- 4. pEDF vs gEDF guest ----
+
+void GuestSchedClassAblation() {
+  bench::Header("Ablation 4: pEDF vs gEDF guest scheduling (1 VM, 4 VCPUs, 8 RTAs, 30 s)");
+  TablePrinter table({"guest class", "admitted", "jobs", "misses", "hypercalls",
+                      "host reservation"});
+  for (GuestSchedClass cls : {GuestSchedClass::kPartitionedEdf, GuestSchedClass::kGlobalEdf}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt, 8);
+    Experiment exp(cfg);
+    GuestConfig gcfg;
+    gcfg.sched_class = cls;
+    GuestOs* g = exp.AddGuest("vm", 4, gcfg);
+    DeadlineMonitor mon;
+    std::vector<std::unique_ptr<PeriodicRta>> rtas;
+    int admitted = 0;
+    for (int i = 0; i < 8; ++i) {
+      RtaParams p{Ms(2 + i), Ms(10 + 2 * i), false};
+      rtas.push_back(std::make_unique<PeriodicRta>(g, "rta" + std::to_string(i), p));
+      rtas.back()->task()->set_observer(&mon);
+      rtas.back()->Start(0, Sec(30));
+    }
+    exp.Run(Sec(15));
+    Bandwidth reserved = exp.dpwrap()->total_reserved();
+    for (const auto& r : rtas) {
+      admitted += r->admission_result() == kGuestOk ? 1 : 0;
+    }
+    exp.Run(Sec(30) + Ms(100));
+    table.AddRow({cls == GuestSchedClass::kPartitionedEdf ? "pEDF (paper)" : "gEDF",
+                  std::to_string(admitted) + "/8", std::to_string(mon.total_completed()),
+                  std::to_string(mon.total_misses()),
+                  std::to_string(exp.machine().overhead().hypercalls), bench::Cpus(reserved)});
+  }
+  table.Print(std::cout);
+  std::cout << "gEDF must reserve equal shares on every VCPU and publish one global\n"
+               "deadline (more hypercalls, coarser reservations) -- the complexity the\n"
+               "paper avoids by modifying SCHED_DEADLINE to pEDF.\n";
+}
+
+// ---- 5. CPU affinity ----
+
+void AffinityAblation() {
+  bench::Header("Ablation 5: CPU affinity (section 6) vs migrations (5 VMs, 3 PCPUs, 30 s)");
+  TablePrinter table({"config", "total migrations", "pinned VM migrations", "misses"});
+  for (bool pin : {false, true}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt, 3);
+    Experiment exp(cfg);
+    DeadlineMonitor mon;
+    std::vector<std::unique_ptr<PeriodicRta>> rtas;
+    std::vector<GuestOs*> guests;
+    for (int i = 0; i < 5; ++i) {
+      GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+      guests.push_back(g);
+      rtas.push_back(std::make_unique<PeriodicRta>(g, "rta" + std::to_string(i),
+                                                   RtaParams{Ms(10), Ms(20), false}));
+      rtas.back()->task()->set_observer(&mon);
+      rtas.back()->Start(0, Sec(30));
+    }
+    if (pin) {
+      exp.dpwrap()->SetAffinity(guests[0]->vm()->vcpu(0), 0);  // Cache-sensitive VM.
+    }
+    exp.Run(Sec(30) + Ms(100));
+    table.AddRow({pin ? "VM0 pinned to PCPU0" : "no affinity",
+                  std::to_string(exp.machine().overhead().migrations),
+                  std::to_string(guests[0]->vm()->vcpu(0)->migrations()),
+                  std::to_string(mon.total_misses())});
+  }
+  table.Print(std::cout);
+}
+
+// ---- 6. Idle tax ----
+
+void IdleTaxAblation() {
+  bench::Header("Ablation 6: idle tax (section 6) reclaiming hoarded bandwidth (1 PCPU)");
+  TablePrinter table({"idle tax", "hoarder claims", "tenant admitted at", "tenant misses"});
+  for (bool tax : {false, true}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtvirt, 1);
+    cfg.dpwrap.idle_tax.enabled = tax;
+    cfg.dpwrap.idle_tax.window = Ms(250);
+    Experiment exp(cfg);
+    GuestOs* hoarder = exp.AddGuest("hoarder", 1);
+    GuestOs* tenant = exp.AddGuest("tenant", 1);
+    // The hoarder claims 80% and never uses it.
+    Task* claim = hoarder->CreateTask("claim");
+    hoarder->SchedSetAttr(claim, RtaParams{Ms(80), Ms(100), false});
+    // A real tenant retries a 0.5-CPU RTA every 100 ms.
+    DeadlineMonitor mon;
+    auto rta = std::make_unique<PeriodicRta>(tenant, "tenant", RtaParams{Ms(50), Ms(100)});
+    rta->task()->set_observer(&mon);
+    TimeNs admitted_at = -1;
+    for (int k = 0; k < 50; ++k) {
+      exp.sim().At(Ms(100) * k + 1, [&, k] {
+        if (!rta->task()->registered() && admitted_at < 0) {
+          if (tenant->SchedSetAttr(rta->task(), RtaParams{Ms(50), Ms(100)}) == kGuestOk) {
+            admitted_at = exp.sim().Now();
+            tenant->SchedUnregister(rta->task());
+            rta->Start(exp.sim().Now() + 1, Sec(10));
+          }
+        }
+      });
+    }
+    exp.Run(Sec(10) + Ms(200));
+    table.AddRow({tax ? "on" : "off", "0.80 CPUs (idle)",
+                  admitted_at < 0 ? "never" : TablePrinter::Fmt(ToSec(admitted_at), 2) + " s",
+                  admitted_at < 0 ? "-" : std::to_string(mon.total_misses())});
+  }
+  table.Print(std::cout);
+  std::cout << "Without the tax the idle 80% claim blocks the tenant forever; with it,\n"
+               "the claim decays to its usage and the tenant is admitted within a few\n"
+               "windows (and still meets its deadlines).\n";
+}
+
+// ---- 7. Quantum-driven vs event-driven RT-Xen ----
+
+void QuantumVsEventDriven() {
+  bench::Header(
+      "Ablation 7: RT-Xen quantum- vs event-driven budget enforcement (section 4.5 note)");
+  TablePrinter table({"mode", "schedule() calls", "schedule() time", "mc p99.9 (us)"});
+  for (TimeNs quantum : {Ms(1), TimeNs{0}}) {
+    ExperimentConfig cfg = bench::Config(Framework::kRtXen, 2);
+    cfg.server_edf.quantum = quantum;
+    Experiment exp(cfg);
+    GuestOs* mc = exp.AddGuest("mc", 1);
+    exp.SetVcpuServer(mc->vm()->vcpu(0), ServerParams{Us(66), Us(283)});
+    mc->SetVcpuCapacity(0, Bandwidth::FromSlicePeriod(Us(66), Us(283)));
+    for (int i = 0; i < 19; ++i) {
+      exp.AddGuest("hog" + std::to_string(i), 1)->CreateBackgroundTask("bg");
+    }
+    DeadlineMonitor mon;
+    MemcachedConfig mcfg;
+    mcfg.slice = Us(66);
+    MemcachedServer server(mc, "mc", mcfg, exp.rng().Fork());
+    server.task()->set_observer(&mon);
+    server.Start(0, Sec(60));
+    exp.Run(Sec(60) + Ms(10));
+    table.AddRow({quantum > 0 ? "quantum-driven (1 ms, as evaluated)" : "event-driven (newer)",
+                  std::to_string(exp.machine().overhead().schedule_calls),
+                  TablePrinter::Fmt(ToMs(exp.machine().overhead().schedule_time), 1) + " ms",
+                  TablePrinter::Fmt(mon.response_times_us().Percentile(99.9), 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "The quantum version re-enters schedule() every 1 ms on every PCPU -- the\n"
+               "higher schedule() time the paper measures for RT-Xen in Table 6.\n";
+}
+
+}  // namespace
+}  // namespace rtvirt
+
+int main() {
+  rtvirt::SlackSweep();
+  rtvirt::MinSliceSweep();
+  rtvirt::ReplanOnWake();
+  rtvirt::GuestSchedClassAblation();
+  rtvirt::AffinityAblation();
+  rtvirt::IdleTaxAblation();
+  rtvirt::QuantumVsEventDriven();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 1: the motivational example. Three VMs (VM1 (5,15), VM2 (5,10),
+// VM3 (5,30)) sharing one CPU under two-level EDF without cross-layer
+// awareness: RTA2 inside VM1 misses a large share of its deadlines even
+// though the VMs use exactly 100% of the CPU. Under RTVirt, the identical
+// scenario has zero misses. Prints the VMM-level schedule trace (Figure 1a)
+// and the per-RTA miss pattern (Figure 1b).
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace rtvirt {
+namespace {
+
+struct Result {
+  DeadlineMonitor rta1;
+  DeadlineMonitor rta2;
+  std::vector<std::string> trace;
+};
+
+ExperimentConfig IdealConfig(Framework fw) {
+  ExperimentConfig cfg = bench::Config(fw, 1);
+  // The example is idealized: the VM parameters use exactly 100% of the CPU.
+  cfg.machine.context_switch_cost = 0;
+  cfg.machine.migration_cost = 0;
+  cfg.machine.hypercall_cost = 0;
+  cfg.server_edf.pick_cost = 0;
+  cfg.dpwrap.pick_cost = 0;
+  cfg.dpwrap.replan_cost_base = 0;
+  cfg.dpwrap.replan_cost_per_log = 0;
+  cfg.channel.budget_slack = 0;
+  return cfg;
+}
+
+Result RunScenario(Framework fw, TimeNs duration) {
+  Experiment exp(IdealConfig(fw));
+  Result result;
+  GuestOs* vm1 = exp.AddGuest("VM1", 1);
+  GuestOs* vm2 = exp.AddGuest("VM2", 1);
+  GuestOs* vm3 = exp.AddGuest("VM3", 1);
+  // Every VM also hosts background work, so each consumes its full slice
+  // exactly as Figure 1a depicts.
+  vm1->CreateBackgroundTask("bga1");
+  vm2->CreateBackgroundTask("bga2");
+  vm3->CreateBackgroundTask("bga3");
+
+  if (fw == Framework::kVanillaEdf) {
+    exp.SetVcpuServer(vm1->vm()->vcpu(0), ServerParams{Ms(5), Ms(15)});
+    exp.SetVcpuServer(vm2->vm()->vcpu(0), ServerParams{Ms(5), Ms(10)});
+    exp.SetVcpuServer(vm3->vm()->vcpu(0), ServerParams{Ms(5), Ms(30)});
+  }
+
+  // Record the first 60 ms of VMM-level dispatches (Figure 1a).
+  exp.machine().SetDispatchTracer([&](TimeNs t, const Pcpu&, const Vcpu& v, bool) {
+    if (t <= Ms(60)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "  t=%5.1fms  %s", ToMs(t), v.vm()->name().c_str());
+      result.trace.push_back(buf);
+    }
+  });
+
+  PeriodicRta rta1(vm1, "RTA1", RtaParams{Ms(1), Ms(15), false});
+  PeriodicRta rta2(vm1, "RTA2", RtaParams{Ms(4), Ms(15), false});
+  PeriodicRta load2(vm2, "VM2-load", RtaParams{Ms(5), Ms(10), false});
+  PeriodicRta load3(vm3, "VM3-load", RtaParams{Ms(5), Ms(30), false});
+  rta1.task()->set_observer(&result.rta1);
+  rta2.task()->set_observer(&result.rta2);
+  rta1.Start(0, duration);
+  // RTA2 arrives after VM1's slice has passed each period (the figure's
+  // phase): without cross-layer awareness the VMM cannot know that.
+  rta2.Start(Ms(11), duration);
+  load2.Start(0, duration);
+  load3.Start(0, duration);
+  exp.Run(duration + Ms(50));
+  return result;
+}
+
+void Report(const char* name, const Result& r) {
+  std::cout << name << ":\n";
+  TablePrinter table({"RTA", "(slice,period)", "jobs", "misses", "miss ratio"});
+  table.AddRow({"RTA1", "(1ms,15ms)", std::to_string(r.rta1.total_completed()),
+                std::to_string(r.rta1.total_misses()),
+                TablePrinter::Pct(r.rta1.TotalMissRatio())});
+  table.AddRow({"RTA2", "(4ms,15ms)", std::to_string(r.rta2.total_completed()),
+                std::to_string(r.rta2.total_misses()),
+                TablePrinter::Pct(r.rta2.TotalMissRatio())});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace rtvirt
+
+int main() {
+  using namespace rtvirt;
+  bench::Header("Figure 1: two-level EDF without cross-layer awareness");
+  Result vanilla = RunScenario(Framework::kVanillaEdf, Sec(10));
+  std::cout << "VMM-level EDF schedule (first dispatches, Figure 1a):\n";
+  for (size_t i = 0; i < vanilla.trace.size() && i < 14; ++i) {
+    std::cout << vanilla.trace[i] << "\n";
+  }
+  Report("\nVanilla two-level EDF (paper: RTA2 misses every other deadline)", vanilla);
+
+  bench::Header("Same scenario under RTVirt cross-layer scheduling");
+  Result rtvirt = RunScenario(Framework::kRtvirt, Sec(10));
+  Report("RTVirt (paper: no deadline misses)", rtvirt);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks for the scheduler operations discussed in section 4.5:
+// event-queue ops, McNaughton wrap layout, the DP-WRAP replan (O(log n)
+// global-deadline computation + O(n) slicing), the sched_rtvirt() hypercall
+// round trip, CARTS interface search, and guest-level EDF dispatch.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/carts.h"
+#include "src/rtvirt/wrap_layout.h"
+#include "src/runner/experiment.h"
+#include "src/sim/event_queue.h"
+#include "src/workloads/periodic.h"
+
+namespace rtvirt {
+namespace {
+
+void BM_EventQueueSchedulePop(benchmark::State& state) {
+  EventQueue q;
+  int64_t t = 0;
+  for (auto _ : state) {
+    q.Schedule(t++, [] {});
+    q.Schedule(t + 100, [] {});
+    benchmark::DoNotOptimize(q.PopNext());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventQueueSchedulePop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  EventQueue q;
+  int64_t t = 0;
+  for (auto _ : state) {
+    auto id = q.Schedule(t++, [] {});
+    q.Cancel(id);
+    if (q.size() > 4096) {
+      state.PauseTiming();
+      while (!q.empty()) {
+        q.PopNext();
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_WrapLayout(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<WrapItem> items;
+  TimeNs slice = Us(250);
+  for (int i = 0; i < n; ++i) {
+    // ~50% total utilization spread over the items, capped at one PCPU each.
+    items.push_back(WrapItem{i, std::min(slice, slice * 15 / (2 * n))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WrapAround(items, slice, 15));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_WrapLayout)->Arg(4)->Arg(20)->Arg(100);
+
+// One DP-WRAP global slice: replan + per-PCPU dispatch, with n reserved
+// VCPUs. This is the recurring cost the 250 us minimum global slice bounds.
+void BM_DpWrapGlobalSlice(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine.num_pcpus = 15;
+  Experiment exp(cfg);
+  std::vector<std::unique_ptr<PeriodicRta>> rtas;
+  for (int i = 0; i < n; ++i) {
+    GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+    rtas.push_back(std::make_unique<PeriodicRta>(
+        g, "rta", RtaParams{Ms(1), Ms(2 + (i % 7)), false}));
+    rtas.back()->Start(0, Sec(100000));
+  }
+  exp.Run(Ms(10));
+  uint64_t replans_before = exp.dpwrap()->replans();
+  TimeNs t = Ms(10);
+  for (auto _ : state) {
+    t += Ms(1);
+    exp.Run(t);
+  }
+  state.counters["replans/iter"] = static_cast<double>(
+      exp.dpwrap()->replans() - replans_before) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DpWrapGlobalSlice)->Arg(5)->Arg(20)->Arg(100);
+
+// sched_rtvirt() round trip: INC_BW admission + deferred replan execution.
+void BM_HypercallRoundTrip(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine.num_pcpus = 15;
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  Vcpu* v = g->vm()->vcpu(0);
+  exp.Run(1);
+  TimeNs t = 1;
+  for (auto _ : state) {
+    HypercallArgs inc;
+    inc.op = SchedOp::kIncBw;
+    inc.vcpu_a = v;
+    inc.bw_a = Bandwidth::FromDouble(0.5);
+    inc.period_a = Ms(10);
+    benchmark::DoNotOptimize(exp.machine().Hypercall(v, inc));
+    HypercallArgs dec = inc;
+    dec.op = SchedOp::kDecBw;
+    dec.bw_a = Bandwidth::Zero();
+    benchmark::DoNotOptimize(exp.machine().Hypercall(v, dec));
+    t += 1000;
+    exp.Run(t);  // Drain the deferred replan.
+  }
+}
+BENCHMARK(BM_HypercallRoundTrip);
+
+void BM_CartsInterfaceSearch(benchmark::State& state) {
+  std::vector<RtaParams> tasks{{Ms(23), Ms(30), false}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimalInterface(tasks, CartsOptions{Ms(1), 0, 0}));
+  }
+}
+BENCHMARK(BM_CartsInterfaceSearch);
+
+// Guest pEDF dispatch: release -> EDF pick -> completion, with l tasks per
+// VCPU (the O(log l) guest-level cost of section 4.5).
+void BM_GuestEdfJobCycle(benchmark::State& state) {
+  int l = static_cast<int>(state.range(0));
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine.num_pcpus = 2;
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  std::vector<Task*> tasks;
+  for (int i = 0; i < l; ++i) {
+    Task* t = g->CreateTask("t" + std::to_string(i));
+    g->SchedSetAttr(t, RtaParams{Us(10), Ms(10 + i), false});
+    tasks.push_back(t);
+  }
+  exp.Run(1);
+  TimeNs t = 1;
+  size_t i = 0;
+  for (auto _ : state) {
+    Task* task = tasks[i++ % tasks.size()];
+    g->ReleaseJob(task, Us(10), t + Ms(10));
+    t += Us(50);
+    exp.Run(t);
+  }
+}
+BENCHMARK(BM_GuestEdfJobCycle)->Arg(1)->Arg(10);
+
+}  // namespace
+}  // namespace rtvirt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Quickstart: build an RTVirt host, run two real-time applications in a VM
+// alongside a CPU-hungry neighbour VM, and check that every deadline is met.
+//
+// This walks through the whole public API surface:
+//   1. Experiment     — a simulated host with the RTVirt (DP-WRAP) scheduler;
+//   2. AddGuest       — a VM with a pEDF guest OS and the cross-layer channel;
+//   3. PeriodicRta    — an rt-app-style periodic real-time application;
+//   4. DeadlineMonitor — deadline and response-time accounting.
+
+#include <iostream>
+
+#include "src/metrics/deadline_monitor.h"
+#include "src/metrics/report.h"
+#include "src/runner/experiment.h"
+#include "src/workloads/periodic.h"
+
+int main() {
+  using namespace rtvirt;
+
+  // A 4-PCPU host running the RTVirt cross-layer stack (guest pEDF +
+  // host-level DP-WRAP + sched_rtvirt() hypercall channel).
+  ExperimentConfig config;
+  config.framework = Framework::kRtvirt;
+  config.machine.num_pcpus = 4;
+  Experiment host(config);
+
+  // A VM with two VCPUs for our time-sensitive applications...
+  GuestOs* app_vm = host.AddGuest("app-vm", 2);
+  // ...and a noisy neighbour that will happily eat every spare cycle.
+  GuestOs* noisy_vm = host.AddGuest("noisy-vm", 1);
+  noisy_vm->CreateBackgroundTask("cpu-hog");
+
+  // Two periodic RTAs: a 30 fps video pipeline stage (18 ms of work every
+  // 33 ms) and a 100 Hz control loop (2 ms every 10 ms). Registration goes
+  // through the guest's sched_setattr() path, which requests host bandwidth
+  // with the sched_rtvirt() hypercall before admitting the task.
+  DeadlineMonitor monitor;
+  PeriodicRta video(app_vm, "video-30fps", RtaParams{Ms(18), Ms(33), false});
+  PeriodicRta control(app_vm, "control-100hz", RtaParams{Ms(2), Ms(10), false});
+  video.task()->set_observer(&monitor);
+  control.task()->set_observer(&monitor);
+  video.Start(/*start=*/0, /*stop=*/Sec(10));
+  control.Start(/*start=*/0, /*stop=*/Sec(10));
+
+  // Sample the host reservation mid-run (both RTAs unregister at t=10s).
+  host.Run(Sec(5));
+  double reserved = host.dpwrap()->total_reserved().ToDouble();
+  host.Run(Sec(10) + Ms(100));
+
+  std::cout << "RTVirt quickstart: 10 s with a CPU hog sharing the host\n\n";
+  TablePrinter table({"task", "jobs", "misses", "worst response (ms)"});
+  for (const auto& [name, stats] : monitor.per_task()) {
+    table.AddRow({name, std::to_string(stats.completed), std::to_string(stats.misses),
+                  TablePrinter::Fmt(ToMs(stats.max_response), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nHost bandwidth reserved for RTAs (at t=5s): "
+            << TablePrinter::Fmt(reserved, 3) << " CPUs of " << config.machine.num_pcpus
+            << "\n";
+  std::cout << "Noisy neighbour still received "
+            << TablePrinter::Fmt(ToSec(noisy_vm->vm()->TotalRuntime()), 2)
+            << " CPU-seconds of residual bandwidth\n";
+  std::cout << (monitor.total_misses() == 0 ? "\nAll deadlines met.\n"
+                                            : "\nDeadline misses detected!\n");
+  return monitor.total_misses() == 0 ? 0 : 1;
+}

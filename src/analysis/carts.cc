@@ -1,0 +1,70 @@
+#include "src/analysis/carts.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtvirt {
+
+std::optional<TimeNs> MinimalBudget(std::span<const RtaParams> tasks, TimeNs period,
+                                    TimeNs granularity) {
+  assert(period > 0 && granularity > 0);
+  // sbf is monotone in the budget, so binary-search the grid.
+  TimeNs lo = 1;                     // In grid units.
+  TimeNs hi = period / granularity;  // Budget == period: dedicated supply.
+  if (hi * granularity < period) {
+    return std::nullopt;  // Period off-grid; caller iterates grid periods only.
+  }
+  if (!EdfSchedulableOn(tasks, PeriodicResource{period, hi * granularity})) {
+    return std::nullopt;
+  }
+  while (lo < hi) {
+    TimeNs mid = lo + (hi - lo) / 2;
+    if (EdfSchedulableOn(tasks, PeriodicResource{period, mid * granularity})) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo * granularity;
+}
+
+std::vector<PeriodicResource> InterfaceCandidates(std::span<const RtaParams> tasks,
+                                                  const CartsOptions& options) {
+  TimeNs g = options.granularity;
+  TimeNs min_p = std::max(options.min_period, g);
+  TimeNs max_p = options.max_period;
+  if (max_p == 0) {
+    max_p = kTimeNever;
+    for (const RtaParams& t : tasks) {
+      max_p = std::min(max_p, t.period);
+    }
+  }
+  std::vector<PeriodicResource> out;
+  for (TimeNs p = min_p; p <= max_p; p += g) {
+    std::optional<TimeNs> budget = MinimalBudget(tasks, p, g);
+    if (budget.has_value()) {
+      out.push_back(PeriodicResource{p, *budget});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const PeriodicResource& a,
+                                              const PeriodicResource& b) {
+    Bandwidth ba = a.bandwidth();
+    Bandwidth bb = b.bandwidth();
+    if (ba != bb) {
+      return ba < bb;
+    }
+    return a.period > b.period;
+  });
+  return out;
+}
+
+std::optional<PeriodicResource> MinimalInterface(std::span<const RtaParams> tasks,
+                                                 const CartsOptions& options) {
+  std::vector<PeriodicResource> candidates = InterfaceCandidates(tasks, options);
+  if (candidates.empty()) {
+    return std::nullopt;
+  }
+  return candidates.front();
+}
+
+}  // namespace rtvirt

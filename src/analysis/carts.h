@@ -1,0 +1,47 @@
+// CARTS-style interface search (paper 4.2).
+//
+// RT-Xen requires each VM's VCPU interface (budget, period) to be derived
+// offline with compositional scheduling analysis. CARTS takes the VCPU's
+// task set and a candidate resource period and emits the minimal budget that
+// keeps the task set EDF-schedulable; because the resulting bandwidth varies
+// non-monotonically with the period, the paper tries different periods and
+// keeps the cheapest. MinimalInterface automates exactly that search on a
+// granularity grid (the published Table 2 interfaces are reproduced with a
+// 1 ms grid; the memcached interfaces with a 1 us grid).
+
+#ifndef SRC_ANALYSIS_CARTS_H_
+#define SRC_ANALYSIS_CARTS_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/analysis/resource_model.h"
+
+namespace rtvirt {
+
+struct CartsOptions {
+  TimeNs granularity = Ms(1);   // Grid for both Π and Θ.
+  TimeNs min_period = 0;        // Skip periods below this (0: granularity).
+  TimeNs max_period = 0;        // 0: the task set's minimum period.
+};
+
+// Minimal budget (on the grid) making `tasks` EDF-schedulable on a resource
+// with period `period`; nullopt if even a dedicated CPU does not suffice.
+std::optional<TimeNs> MinimalBudget(std::span<const RtaParams> tasks, TimeNs period,
+                                    TimeNs granularity);
+
+// Searches periods on the grid and returns the interface with the smallest
+// bandwidth (ties: larger period, fewer context switches).
+std::optional<PeriodicResource> MinimalInterface(std::span<const RtaParams> tasks,
+                                                 const CartsOptions& options = {});
+
+// All candidate interfaces (one per feasible period), cheapest first — used
+// to pick "the most efficient configurations that allow the VM to run"
+// (section 4.4's RT-Xen A / RT-Xen B).
+std::vector<PeriodicResource> InterfaceCandidates(std::span<const RtaParams> tasks,
+                                                  const CartsOptions& options = {});
+
+}  // namespace rtvirt
+
+#endif  // SRC_ANALYSIS_CARTS_H_

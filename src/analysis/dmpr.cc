@@ -1,0 +1,40 @@
+#include "src/analysis/dmpr.h"
+
+#include <algorithm>
+
+namespace rtvirt {
+
+DmprResult DmprPack(std::span<const PeriodicResource> interfaces) {
+  DmprResult result;
+  std::vector<Bandwidth> partials;
+  for (const PeriodicResource& r : interfaces) {
+    Bandwidth bw = r.bandwidth();
+    result.allocated += bw;
+    if (bw >= Bandwidth::One()) {
+      ++result.full_vcpus;
+    } else if (bw > Bandwidth::Zero()) {
+      partials.push_back(bw);
+    }
+  }
+  std::sort(partials.begin(), partials.end(),
+            [](Bandwidth a, Bandwidth b) { return a > b; });
+  std::vector<Bandwidth> bins;
+  for (Bandwidth bw : partials) {
+    bool placed = false;
+    for (Bandwidth& bin : bins) {
+      if (bin + bw <= Bandwidth::One()) {
+        bin += bw;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bins.push_back(bw);
+    }
+  }
+  result.partial_bins = static_cast<int>(bins.size());
+  result.claimed_cpus = result.full_vcpus + result.partial_bins;
+  return result;
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,32 @@
+// Deterministic Multiprocessor Resource periodic model (DMPR), used by the
+// paper (4.2) to derive the minimum number of CPUs RT-Xen must *claim* to
+// schedule a group of VMs whose VCPU interfaces came out of CARTS.
+//
+// Full-bandwidth VCPUs each claim a dedicated processor; partial VCPUs are
+// packed first-fit-decreasing by bandwidth, each bin claiming one processor.
+// The gap between claimed processors and the sum of allocated bandwidths is
+// the CSA pessimism RTVirt eliminates (Figure 3's "RT-Xen: Claimed" bars).
+
+#ifndef SRC_ANALYSIS_DMPR_H_
+#define SRC_ANALYSIS_DMPR_H_
+
+#include <span>
+#include <vector>
+
+#include "src/analysis/resource_model.h"
+
+namespace rtvirt {
+
+struct DmprResult {
+  int claimed_cpus = 0;       // Processors that must be set aside.
+  Bandwidth allocated;        // Sum of interface bandwidths.
+  int full_vcpus = 0;         // Interfaces with bandwidth 1.0.
+  int partial_bins = 0;       // Bins used for partial interfaces.
+};
+
+// Packs the given VCPU interfaces and returns the claimed-CPU count.
+DmprResult DmprPack(std::span<const PeriodicResource> interfaces);
+
+}  // namespace rtvirt
+
+#endif  // SRC_ANALYSIS_DMPR_H_

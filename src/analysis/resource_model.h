@@ -1,0 +1,45 @@
+// Compositional real-time analysis primitives (Shin & Lee periodic resource
+// model), as used by the CARTS tool that configures RT-Xen (paper 4.2).
+//
+// A component scheduling task set T under EDF on a periodic resource
+// Γ = (Π, Θ) is schedulable iff the demand bound function of T never exceeds
+// the supply bound function of Γ.
+
+#ifndef SRC_ANALYSIS_RESOURCE_MODEL_H_
+#define SRC_ANALYSIS_RESOURCE_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+#include "src/guest/task.h"
+
+namespace rtvirt {
+
+// Periodic resource: Θ units of CPU supplied every Π (budget, period).
+struct PeriodicResource {
+  TimeNs period = 0;  // Π
+  TimeNs budget = 0;  // Θ
+
+  Bandwidth bandwidth() const { return Bandwidth::FromSlicePeriod(budget, period); }
+};
+
+// Worst-case supply of (Π, Θ) in any interval of length t (the standard
+// linear-blackout sbf: supply may stall for up to 2(Π−Θ)).
+TimeNs SupplyBound(const PeriodicResource& r, TimeNs t);
+
+// EDF demand of implicit-deadline tasks in any interval of length t:
+// dbf(t) = sum_i floor(t / p_i) * s_i.
+TimeNs DemandBound(std::span<const RtaParams> tasks, TimeNs t);
+
+// Exact EDF schedulability of `tasks` on resource `r`: dbf(t) <= sbf(t) at
+// every dbf step point up to the analysis bound.
+bool EdfSchedulableOn(std::span<const RtaParams> tasks, const PeriodicResource& r);
+
+// Total utilization of a task set.
+Bandwidth TotalUtilization(std::span<const RtaParams> tasks);
+
+}  // namespace rtvirt
+
+#endif  // SRC_ANALYSIS_RESOURCE_MODEL_H_

@@ -1,0 +1,37 @@
+#include "src/cluster/migration_model.h"
+
+#include <algorithm>
+
+namespace rtvirt {
+
+MigrationCostModel::Estimate MigrationCostModel::Predict() const {
+  Estimate est;
+  if (memory_gb <= 0 || link_gbps <= 0) {
+    return est;
+  }
+  auto seconds_to_ns = [](double s) { return static_cast<TimeNs>(s * kNsPerSec); };
+
+  if (dirty_rate_gbps >= link_gbps) {
+    // Pre-copy cannot converge: one stop-and-copy of everything.
+    est.downtime = seconds_to_ns(memory_gb * 8 / (link_gbps));
+    est.total_time = est.downtime;
+    est.rounds = 0;
+    return est;
+  }
+
+  double rho = dirty_rate_gbps / link_gbps;
+  double remaining_gb = memory_gb;
+  double total_seconds = 0;
+  int round = 0;
+  while (remaining_gb > downtime_target_gb && round < max_rounds) {
+    total_seconds += remaining_gb * 8 / link_gbps;  // Gb over Gbps.
+    remaining_gb *= rho;  // Pages dirtied while this round transferred.
+    ++round;
+  }
+  est.rounds = round;
+  est.downtime = seconds_to_ns(remaining_gb * 8 / link_gbps);
+  est.total_time = seconds_to_ns(total_seconds) + est.downtime;
+  return est;
+}
+
+}  // namespace rtvirt

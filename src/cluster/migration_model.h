@@ -1,0 +1,39 @@
+// Live VM migration cost model (paper section 6, citing Wu & Zhao,
+// "Performance modeling of virtual machine live migration", CLOUD 2011).
+//
+// Pre-copy live migration transfers the VM's memory iteratively: round 0
+// copies everything; each later round copies the pages dirtied during the
+// previous round. With dirty rate D and link bandwidth B, each round shrinks
+// the remaining data by a factor rho = D/B (for D < B); the final stop-and-
+// copy round is the downtime. The placement layer uses this model to decide
+// whether a rebalancing migration is worth its disruption.
+
+#ifndef SRC_CLUSTER_MIGRATION_MODEL_H_
+#define SRC_CLUSTER_MIGRATION_MODEL_H_
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+struct MigrationCostModel {
+  double memory_gb = 4.0;       // VM memory footprint.
+  double dirty_rate_gbps = 1.0;  // Rate at which the guest dirties memory.
+  double link_gbps = 10.0;       // Migration link bandwidth.
+  double downtime_target_gb = 0.05;  // Stop-and-copy when the residual is below this.
+  int max_rounds = 30;
+
+  struct Estimate {
+    TimeNs total_time = 0;  // First byte to resume on the target.
+    TimeNs downtime = 0;    // Stop-and-copy pause.
+    int rounds = 0;         // Pre-copy iterations (excluding stop-and-copy).
+  };
+
+  // Predicts the migration cost. If the link cannot outrun the dirty rate,
+  // pre-copy never converges and the model falls back to a single
+  // stop-and-copy of the full memory (maximal downtime).
+  Estimate Predict() const;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_CLUSTER_MIGRATION_MODEL_H_

@@ -1,0 +1,168 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+ClusterPlacer::ClusterPlacer(std::vector<ClusterHost> hosts, PlacementPolicy policy)
+    : hosts_(std::move(hosts)), policy_(policy) {
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    assert(hosts_[i].id == static_cast<int>(i) && "host ids must be dense and ordered");
+  }
+}
+
+Bandwidth ClusterPlacer::HostLoad(int host) const {
+  Bandwidth load;
+  for (const PlacedVm& vm : vms_) {
+    if (vm.host == host) {
+      load += vm.request.bandwidth;
+    }
+  }
+  return load;
+}
+
+Bandwidth ClusterPlacer::TotalFree() const {
+  Bandwidth free;
+  for (const ClusterHost& h : hosts_) {
+    free += h.capacity() - HostLoad(h.id);
+  }
+  return free;
+}
+
+int ClusterPlacer::ChooseHost(Bandwidth bw) const {
+  int best = -1;
+  Bandwidth best_free;
+  for (const ClusterHost& h : hosts_) {
+    Bandwidth free = h.capacity() - HostLoad(h.id);
+    if (free < bw) {
+      continue;
+    }
+    switch (policy_) {
+      case PlacementPolicy::kFirstFit:
+        return h.id;
+      case PlacementPolicy::kWorstFit:
+        if (best < 0 || free > best_free) {
+          best = h.id;
+          best_free = free;
+        }
+        break;
+      case PlacementPolicy::kBestFit:
+        if (best < 0 || free < best_free) {
+          best = h.id;
+          best_free = free;
+        }
+        break;
+    }
+  }
+  return best;
+}
+
+std::optional<int> ClusterPlacer::Place(const VmPlacementRequest& request) {
+  int host = ChooseHost(request.bandwidth);
+  if (host < 0) {
+    return std::nullopt;
+  }
+  vms_.push_back(PlacedVm{request, host});
+  return host;
+}
+
+bool ClusterPlacer::Remove(const std::string& name) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&](const PlacedVm& vm) { return vm.request.name == name; });
+  if (it == vms_.end()) {
+    return false;
+  }
+  vms_.erase(it);
+  return true;
+}
+
+std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
+    const VmPlacementRequest& request) {
+  if (TotalFree() < request.bandwidth) {
+    return std::nullopt;  // Not a fragmentation problem: genuinely full.
+  }
+  // Try to free room on each candidate target host, cheapest-first: move its
+  // cheapest-to-migrate VMs to other hosts until the request fits.
+  struct Candidate {
+    size_t vm_index;
+    TimeNs cost;
+  };
+  std::optional<RebalancePlan> best;
+  for (const ClusterHost& target : hosts_) {
+    Bandwidth need = request.bandwidth - (target.capacity() - HostLoad(target.id));
+    if (need <= Bandwidth::Zero()) {
+      continue;  // Would have been placed directly.
+    }
+    // Candidates on this host, cheapest migration first.
+    std::vector<Candidate> candidates;
+    for (size_t i = 0; i < vms_.size(); ++i) {
+      if (vms_[i].host == target.id) {
+        candidates.push_back(Candidate{i, vms_[i].request.migration.Predict().total_time});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
+
+    // Tentatively move candidates to other hosts (first-fit among the rest).
+    RebalancePlan plan;
+    plan.target_host = target.id;
+    std::vector<std::pair<size_t, int>> moves;  // (vm index, new host)
+    std::vector<Bandwidth> free(hosts_.size());
+    for (const ClusterHost& h : hosts_) {
+      free[h.id] = h.capacity() - HostLoad(h.id);
+    }
+    Bandwidth freed;
+    for (const Candidate& c : candidates) {
+      if (freed >= need) {
+        break;
+      }
+      const PlacedVm& vm = vms_[c.vm_index];
+      int dest = -1;
+      for (const ClusterHost& h : hosts_) {
+        if (h.id != target.id && free[h.id] >= vm.request.bandwidth) {
+          dest = h.id;
+          break;
+        }
+      }
+      if (dest < 0) {
+        continue;  // This VM cannot move anywhere; try the next candidate.
+      }
+      free[dest] -= vm.request.bandwidth;
+      freed += vm.request.bandwidth;
+      MigrationStep step;
+      step.vm = vm.request.name;
+      step.from = target.id;
+      step.to = dest;
+      step.cost = vm.request.migration.Predict();
+      plan.total_migration_time += step.cost.total_time;
+      plan.steps.push_back(step);
+      moves.emplace_back(c.vm_index, dest);
+    }
+    if (freed < need) {
+      continue;  // Could not free enough on this target.
+    }
+    if (!best.has_value() || plan.total_migration_time < best->total_migration_time) {
+      best = plan;
+      // Remember the moves of the best plan by re-deriving them at apply
+      // time below (indices are stable: we have not mutated vms_ yet).
+    }
+  }
+  if (!best.has_value()) {
+    return std::nullopt;
+  }
+  // Apply the winning plan.
+  for (const MigrationStep& step : best->steps) {
+    for (PlacedVm& vm : vms_) {
+      if (vm.request.name == step.vm) {
+        vm.host = step.to;
+        break;
+      }
+    }
+  }
+  vms_.push_back(PlacedVm{request, best->target_host});
+  return best;
+}
+
+}  // namespace rtvirt

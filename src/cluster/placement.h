@@ -1,0 +1,90 @@
+// Cross-host VM placement (paper section 6): extends RTVirt's admission to
+// a cluster. Each host runs its own DP-WRAP scheduler, so a host can accept
+// any set of VMs whose total RTA bandwidth fits its processor count; the
+// placer chooses hosts for arriving VMs and, when fragmentation blocks an
+// arrival that would fit in aggregate, plans a minimal set of live
+// migrations (costed with MigrationCostModel) to make room.
+
+#ifndef SRC_CLUSTER_PLACEMENT_H_
+#define SRC_CLUSTER_PLACEMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/migration_model.h"
+#include "src/common/bandwidth.h"
+
+namespace rtvirt {
+
+enum class PlacementPolicy {
+  kFirstFit,  // Lowest host id with room (consolidating).
+  kWorstFit,  // Most free bandwidth (load balancing).
+  kBestFit,   // Least free bandwidth that still fits (packing).
+};
+
+struct ClusterHost {
+  int id = 0;
+  int pcpus = 0;
+
+  Bandwidth capacity() const { return Bandwidth::Cpus(pcpus); }
+};
+
+struct VmPlacementRequest {
+  std::string name;
+  Bandwidth bandwidth;            // Aggregate RTA reservation of the VM.
+  MigrationCostModel migration;   // Cost of moving this VM once placed.
+};
+
+struct PlacedVm {
+  VmPlacementRequest request;
+  int host = -1;
+};
+
+struct MigrationStep {
+  std::string vm;
+  int from = 0;
+  int to = 0;
+  MigrationCostModel::Estimate cost;
+};
+
+class ClusterPlacer {
+ public:
+  explicit ClusterPlacer(std::vector<ClusterHost> hosts,
+                         PlacementPolicy policy = PlacementPolicy::kWorstFit);
+
+  // Places a VM; returns the chosen host id or nullopt if no host has room
+  // (use PlanRebalance to try migrations).
+  std::optional<int> Place(const VmPlacementRequest& request);
+
+  // Removes a VM (it left the system).
+  bool Remove(const std::string& name);
+
+  // When Place fails but the aggregate free capacity would fit the request,
+  // plans a greedy minimal-disruption migration sequence that frees room on
+  // one host: candidate VMs are considered in increasing predicted
+  // total-migration-time order. Returns the steps and the target host, or
+  // nullopt if no plan exists. The plan is applied to the placer's state.
+  struct RebalancePlan {
+    int target_host = -1;
+    std::vector<MigrationStep> steps;
+    TimeNs total_migration_time = 0;
+  };
+  std::optional<RebalancePlan> PlanRebalance(const VmPlacementRequest& request);
+
+  Bandwidth HostLoad(int host) const;
+  Bandwidth HostFree(int host) const { return hosts_[host].capacity() - HostLoad(host); }
+  Bandwidth TotalFree() const;
+  const std::vector<PlacedVm>& placements() const { return vms_; }
+
+ private:
+  int ChooseHost(Bandwidth bw) const;
+
+  std::vector<ClusterHost> hosts_;
+  PlacementPolicy policy_;
+  std::vector<PlacedVm> vms_;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_CLUSTER_PLACEMENT_H_

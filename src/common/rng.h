@@ -1,0 +1,61 @@
+// Deterministic random number generation for workload models.
+//
+// Every experiment seeds its own Rng so that runs are reproducible and the
+// benches regenerate the same table rows on every invocation.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform duration in [lo, hi] inclusive.
+  TimeNs UniformTime(TimeNs lo, TimeNs hi) { return UniformInt(lo, hi); }
+
+  // Normal, truncated below at `min`.
+  double NormalAtLeast(double mean, double stddev, double min) {
+    double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return v < min ? min : v;
+  }
+
+  // Exponential with the given mean.
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Log-normal parameterized by the median and the log-space sigma.
+  double LogNormal(double median, double sigma) {
+    return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+  }
+
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Derive an independent stream (for per-VM / per-client generators).
+  Rng Fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_COMMON_RNG_H_

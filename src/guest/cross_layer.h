@@ -1,0 +1,55 @@
+// Guest-side cross-layer policy hook (paper section 3.2).
+//
+// The guest OS scheduler calls these hooks when RTA registration events
+// change a VCPU's aggregate bandwidth need or the next earliest deadline of
+// the RTAs pinned to a VCPU. The RTVirt implementation translates them into
+// sched_rtvirt() hypercalls and shared-memory publications; baseline guests
+// (RT-Xen, Credit) install the default policy, which grants everything
+// locally and publishes nothing — exactly the traditional architecture where
+// the host is unaware of guest scheduling.
+
+#ifndef SRC_GUEST_CROSS_LAYER_H_
+#define SRC_GUEST_CROSS_LAYER_H_
+
+#include <cstdint>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+#include "src/hv/hypercall.h"
+
+namespace rtvirt {
+
+class Vcpu;
+
+class CrossLayerPolicy {
+ public:
+  virtual ~CrossLayerPolicy() = default;
+
+  // Request the host reserve `rta_bw` (sum of the VCPU's RTA bandwidths,
+  // before any slack the policy adds) with the given period. Returns a
+  // hypercall status; on failure the guest reverts the triggering change.
+  virtual int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+    (void)vcpu, (void)rta_bw, (void)period;
+    return kHypercallOk;
+  }
+
+  // Atomically grow `to` and shrink `from` (INC_DEC_BW), used when an RTA is
+  // re-pinned to a different VCPU.
+  virtual int64_t MoveBandwidth(Vcpu* to, Bandwidth to_bw, TimeNs to_period, Vcpu* from,
+                                Bandwidth from_bw, TimeNs from_period) {
+    (void)to, (void)to_bw, (void)to_period, (void)from, (void)from_bw, (void)from_period;
+    return kHypercallOk;
+  }
+
+  // Shrink a VCPU's reservation (DEC_BW); cannot fail.
+  virtual void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+    (void)vcpu, (void)rta_bw, (void)period;
+  }
+
+  // Publish the next earliest deadline among the RTAs pinned to `vcpu`.
+  virtual void PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) { (void)vcpu, (void)deadline; }
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_GUEST_CROSS_LAYER_H_

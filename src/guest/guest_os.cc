@@ -1,0 +1,656 @@
+#include "src/guest/guest_os.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+GuestOs::GuestOs(Vm* vm, GuestConfig config)
+    : vm_(vm), config_(config), cross_layer_(std::make_unique<CrossLayerPolicy>()) {
+  for (int i = 0; i < vm_->num_vcpus(); ++i) {
+    Vcpu* v = vm_->vcpu(i);
+    v->set_client(this);
+    VcpuRun vr;
+    vr.vcpu = v;
+    vcpus_.push_back(std::move(vr));
+  }
+}
+
+GuestOs::~GuestOs() = default;
+
+Vcpu* GuestOs::AddVcpu() {
+  Vcpu* v = vm_->AddVcpu();
+  v->set_client(this);
+  VcpuRun vr;
+  vr.vcpu = v;
+  vcpus_.push_back(std::move(vr));
+  return v;
+}
+
+void GuestOs::SetCrossLayer(std::unique_ptr<CrossLayerPolicy> policy) {
+  assert(policy != nullptr);
+  cross_layer_ = std::move(policy);
+}
+
+void GuestOs::SetVcpuCapacity(int vcpu_index, Bandwidth capacity) {
+  vcpus_[vcpu_index].capacity = capacity;
+}
+
+Task* GuestOs::CreateTask(std::string name) {
+  tasks_.push_back(std::make_unique<Task>(std::move(name), Task::Kind::kRta));
+  return tasks_.back().get();
+}
+
+Task* GuestOs::CreateBackgroundTask(std::string name) {
+  tasks_.push_back(std::make_unique<Task>(std::move(name), Task::Kind::kBackground));
+  Task* t = tasks_.back().get();
+  background_.push_back(t);
+  // Background work exists immediately: wake any idle VCPU to pick it up.
+  for (auto& vr : vcpus_) {
+    if (vr.vcpu->blocked()) {
+      vr.vcpu->Wake();
+    }
+  }
+  return t;
+}
+
+Bandwidth GuestOs::TotalReservedBw() const {
+  Bandwidth total;
+  for (const auto& vr : vcpus_) {
+    total += vr.reserved;
+  }
+  return total;
+}
+
+TimeNs GuestOs::NextEarliestDeadline(int vcpu_index) const {
+  if (global_edf()) {
+    return GlobalEarliestDeadline();
+  }
+  const VcpuRun& vr = vcpus_[vcpu_index];
+  TimeNs now = vm_->machine()->sim()->Now();
+  TimeNs d = kTimeNever;
+  for (const Task* t : vr.rtas) {
+    TimeNs cand = kTimeNever;
+    if (t->HasPendingJob()) {
+      cand = t->FrontJob().deadline;
+    } else if (t->params().sporadic) {
+      // Worst case (paper section 3.3): a sporadic RTA with minimum period p
+      // may be activated immediately and re-activated every p.
+      cand = now + t->params().period;
+    } else if (t->next_release() < kTimeNever) {
+      // Idle periodic RTA: its next release is the next point at which host
+      // allocation starts to matter.
+      cand = t->next_release();
+    }
+    d = std::min(d, cand);
+  }
+  return d;
+}
+
+// ---- Dispatch ----
+
+void GuestOs::OnVcpuGranted(Vcpu* vcpu) {
+  VcpuRun& vr = RunOf(vcpu);
+  vr.on_cpu = true;
+  Redispatch(vr);
+}
+
+void GuestOs::OnVcpuRevoked(Vcpu* vcpu) {
+  VcpuRun& vr = RunOf(vcpu);
+  SuspendRunning(vr);
+  vr.on_cpu = false;
+  // If the revocation coincided with the last job's completion, the VCPU has
+  // nothing left to run: block it so the host doesn't re-dispatch it idle.
+  if (vcpu->runnable() && PickTask(vr) == nullptr) {
+    vcpu->Block();
+  }
+}
+
+bool GuestOs::BackgroundRunningElsewhere(const Task* task, const VcpuRun& except) const {
+  for (const auto& vr : vcpus_) {
+    if (&vr != &except && vr.running == task) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Task* GuestOs::PickTaskGlobal(VcpuRun& vr) {
+  Task* best = nullptr;
+  for (Task* t : global_rtas_) {
+    if (!t->HasPendingJob()) {
+      continue;
+    }
+    bool running_elsewhere = false;
+    for (const auto& other : vcpus_) {
+      if (&other != &vr && other.running == t) {
+        running_elsewhere = true;
+        break;
+      }
+    }
+    if (running_elsewhere) {
+      continue;
+    }
+    if (best == nullptr || t->FrontJob().deadline < best->FrontJob().deadline) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+Task* GuestOs::PickTask(VcpuRun& vr) {
+  Task* best = nullptr;
+  if (global_edf()) {
+    best = PickTaskGlobal(vr);
+  } else {
+    for (Task* t : vr.rtas) {
+      if (t->HasPendingJob() &&
+          (best == nullptr || t->FrontJob().deadline < best->FrontJob().deadline)) {
+        best = t;
+      }
+    }
+  }
+  if (best != nullptr) {
+    return best;
+  }
+  // No time-sensitive work: round-robin over background tasks not already
+  // running on a sibling VCPU.
+  for (size_t i = 0; i < background_.size(); ++i) {
+    Task* bg = background_[(bg_cursor_ + i) % background_.size()];
+    if (!BackgroundRunningElsewhere(bg, vr)) {
+      bg_cursor_ = (bg_cursor_ + i + 1) % background_.size();
+      return bg;
+    }
+  }
+  return nullptr;
+}
+
+void GuestOs::Redispatch(VcpuRun& vr) {
+  if (!vr.on_cpu) {
+    return;
+  }
+  Task* next = PickTask(vr);
+  if (next == nullptr) {
+    SuspendRunning(vr);
+    vr.vcpu->Block();
+    return;
+  }
+  if (next == vr.running) {
+    return;
+  }
+  SuspendRunning(vr);
+  StartRunning(vr, next);
+}
+
+void GuestOs::StartRunning(VcpuRun& vr, Task* task) {
+  assert(vr.on_cpu && vr.running == nullptr);
+  vr.running = task;
+  vr.run_start = sim()->Now();
+  if (task->is_rta()) {
+    Vcpu* v = vr.vcpu;
+    vr.completion_event =
+        sim()->After(task->FrontJob().remaining, [this, v] { OnJobCompletion(RunOf(v)); });
+  }
+  // Background tasks have unbounded work: no completion event.
+}
+
+void GuestOs::SuspendRunning(VcpuRun& vr) {
+  if (vr.running == nullptr) {
+    return;
+  }
+  sim()->Cancel(vr.completion_event);
+  Task* t = vr.running;
+  vr.running = nullptr;
+  if (!t->is_rta()) {
+    return;
+  }
+  TimeNs ran = sim()->Now() - vr.run_start;
+  Job& job = t->MutableFrontJob();
+  job.remaining -= ran;
+  assert(job.remaining >= 0);
+  if (job.remaining == 0) {
+    // The revocation landed exactly at job completion (e.g., the host slice
+    // ends with the job): finalize now rather than on the next dispatch.
+    FinishFrontJob(vr, t);
+  }
+}
+
+void GuestOs::FinishFrontJob(VcpuRun& vr, Task* t) {
+  TimeNs now = sim()->Now();
+  Job job = t->FrontJob();
+  t->jobs_.pop_front();
+  ++t->jobs_completed_;
+  if (t->observer() != nullptr) {
+    t->observer()->OnJobCompleted(*t, job, now);
+  }
+  PublishDeadline(vr);
+}
+
+void GuestOs::OnJobCompletion(VcpuRun& vr) {
+  Task* t = vr.running;
+  assert(t != nullptr && t->is_rta());
+  Job& job = t->MutableFrontJob();
+  job.remaining -= sim()->Now() - vr.run_start;
+  assert(job.remaining == 0);
+  vr.running = nullptr;
+  vr.completion_event = Simulator::EventId();
+  FinishFrontJob(vr, t);
+  Redispatch(vr);
+}
+
+TimeNs GuestOs::GlobalEarliestDeadline() const {
+  TimeNs now = vm_->machine()->sim()->Now();
+  TimeNs d = kTimeNever;
+  for (const Task* t : global_rtas_) {
+    TimeNs cand = kTimeNever;
+    if (t->HasPendingJob()) {
+      cand = t->FrontJob().deadline;
+    } else if (t->params().sporadic) {
+      cand = now + t->params().period;
+    } else if (t->next_release() < kTimeNever) {
+      cand = t->next_release();
+    }
+    d = std::min(d, cand);
+  }
+  return d;
+}
+
+void GuestOs::PublishGlobalDeadline() {
+  // gEDF cannot attribute deadlines to VCPUs (any VCPU may run any task), so
+  // every VCPU publishes the global earliest — one of the sources of
+  // cross-layer complexity the paper cites for preferring pEDF.
+  TimeNs d = GlobalEarliestDeadline();
+  for (auto& vr : vcpus_) {
+    cross_layer_->PublishNextDeadline(vr.vcpu, d);
+  }
+}
+
+void GuestOs::PublishDeadline(VcpuRun& vr) {
+  if (global_edf()) {
+    PublishGlobalDeadline();
+    return;
+  }
+  cross_layer_->PublishNextDeadline(vr.vcpu, NextEarliestDeadline(vr.vcpu->index()));
+}
+
+void GuestOs::ReleaseJob(Task* task, TimeNs work, TimeNs deadline) {
+  assert(task->registered() && task->is_rta());
+  assert(work > 0);
+  TimeNs now = sim()->Now();
+  task->jobs_.push_back(Job{now, deadline, work, work});
+
+  if (global_edf()) {
+    PublishGlobalDeadline();
+    // Wake an idle VCPU if there is one...
+    for (auto& vr : vcpus_) {
+      if (vr.running == task) {
+        return;  // Already being served; the new job queues behind.
+      }
+    }
+    for (auto& vr : vcpus_) {
+      if (vr.vcpu->blocked()) {
+        vr.vcpu->Wake();
+        return;
+      }
+    }
+    // ...else preempt the VCPU running background work or the latest
+    // deadline (gEDF).
+    VcpuRun* victim = nullptr;
+    for (auto& vr : vcpus_) {
+      if (!vr.on_cpu || vr.running == nullptr) {
+        continue;
+      }
+      if (!vr.running->is_rta()) {
+        victim = &vr;  // Background work always loses.
+        break;
+      }
+      if (vr.running->FrontJob().deadline > deadline &&
+          (victim == nullptr ||
+           vr.running->FrontJob().deadline > victim->running->FrontJob().deadline)) {
+        victim = &vr;
+      }
+    }
+    if (victim != nullptr) {
+      Redispatch(*victim);
+    }
+    return;
+  }
+
+  VcpuRun& vr = vcpus_[task->vcpu_index()];
+  PublishDeadline(vr);
+  if (vr.vcpu->blocked()) {
+    vr.vcpu->Wake();
+    return;
+  }
+  if (vr.on_cpu &&
+      (vr.running == nullptr || !vr.running->is_rta() ||
+       vr.running->FrontJob().deadline > deadline)) {
+    Redispatch(vr);
+  }
+}
+
+// ---- Registration / admission ----
+
+void GuestOs::RecomputeVcpu(VcpuRun& vr) {
+  vr.reserved = Bandwidth::Zero();
+  vr.min_period = kTimeNever;
+  for (const Task* t : vr.rtas) {
+    vr.reserved += t->params().bandwidth();
+    vr.min_period = std::min(vr.min_period, t->params().period);
+  }
+}
+
+TimeNs GuestOs::MinPeriodWith(const VcpuRun& vr, TimeNs extra_period) const {
+  TimeNs p = extra_period;
+  for (const Task* t : vr.rtas) {
+    p = std::min(p, t->params().period);
+  }
+  return p;
+}
+
+int GuestOs::FindFirstFit(Bandwidth bw, int exclude_index) const {
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (static_cast<int>(i) == exclude_index) {
+      continue;
+    }
+    if (vcpus_[i].reserved + bw <= vcpus_[i].capacity) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void GuestOs::PinTask(Task* task, int vcpu_index, const RtaParams& params) {
+  task->params_ = params;
+  task->registered_ = true;
+  task->vcpu_index_ = vcpu_index;
+  VcpuRun& vr = vcpus_[vcpu_index];
+  vr.rtas.push_back(task);
+  RecomputeVcpu(vr);
+  PublishDeadline(vr);
+}
+
+void GuestOs::UnpinTask(Task* task) {
+  VcpuRun& vr = vcpus_[task->vcpu_index()];
+  if (vr.running == task) {
+    SuspendRunning(vr);
+  }
+  vr.rtas.erase(std::remove(vr.rtas.begin(), vr.rtas.end(), task), vr.rtas.end());
+  RecomputeVcpu(vr);
+  task->vcpu_index_ = -1;
+}
+
+int64_t GuestOs::RequestGlobalShares(Bandwidth total, TimeNs min_period) {
+  // Every VCPU carries an equal share (rounded up) of the total bandwidth.
+  int n = static_cast<int>(vcpus_.size());
+  Bandwidth share = Bandwidth::FromPpb((total.ppb() + n - 1) / n);
+  Bandwidth old_share = Bandwidth::FromPpb((global_total_.ppb() + n - 1) / n);
+  for (int i = 0; i < n; ++i) {
+    int64_t rc = cross_layer_->RequestBandwidth(vcpus_[i].vcpu, share, min_period);
+    if (rc != kHypercallOk) {
+      for (int j = 0; j < i; ++j) {  // Roll back to the previous shares.
+        cross_layer_->RequestBandwidth(vcpus_[j].vcpu, old_share, global_min_period_);
+      }
+      return rc;
+    }
+  }
+  return kHypercallOk;
+}
+
+int GuestOs::SchedSetAttrGlobal(Task* task, const RtaParams& params) {
+  Bandwidth nbw = params.bandwidth();
+  Bandwidth old = task->registered() ? task->params().bandwidth() : Bandwidth::Zero();
+  Bandwidth new_total = global_total_ - old + nbw;
+  Bandwidth capacity;
+  for (const auto& vr : vcpus_) {
+    capacity += vr.capacity;
+  }
+  if (new_total > capacity) {
+    return kGuestErrBusy;
+  }
+  TimeNs new_min_period = params.period;
+  for (const Task* t : global_rtas_) {
+    if (t != task) {
+      new_min_period = std::min(new_min_period, t->params().period);
+    }
+  }
+  if (RequestGlobalShares(new_total, new_min_period) != kHypercallOk) {
+    return kGuestErrBusy;
+  }
+  if (!task->registered()) {
+    global_rtas_.push_back(task);
+  }
+  task->params_ = params;
+  task->registered_ = true;
+  task->vcpu_index_ = -1;  // Unpinned: any VCPU may run it.
+  global_total_ = new_total;
+  global_min_period_ = new_min_period;
+  PublishGlobalDeadline();
+  return kGuestOk;
+}
+
+int GuestOs::SchedUnregisterGlobal(Task* task) {
+  global_rtas_.erase(std::remove(global_rtas_.begin(), global_rtas_.end(), task),
+                     global_rtas_.end());
+  for (auto& vr : vcpus_) {
+    if (vr.running == task) {
+      SuspendRunning(vr);
+      task->jobs_.clear();
+      Redispatch(vr);
+      break;
+    }
+  }
+  task->jobs_.clear();
+  task->registered_ = false;
+  global_total_ -= task->params().bandwidth();
+  global_min_period_ = kTimeNever;
+  for (const Task* t : global_rtas_) {
+    global_min_period_ = std::min(global_min_period_, t->params().period);
+  }
+  RequestGlobalShares(global_total_, global_min_period_);
+  PublishGlobalDeadline();
+  return kGuestOk;
+}
+
+int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
+  if (!task->is_rta() || params.period <= 0 || params.slice <= 0 ||
+      params.slice > params.period) {
+    return kGuestErrInvalid;
+  }
+  if (global_edf()) {
+    return SchedSetAttrGlobal(task, params);
+  }
+  Bandwidth nbw = params.bandwidth();
+
+  if (!task->registered()) {
+    int idx = FindFirstFit(nbw, /*exclude_index=*/-1);
+    if (idx < 0) {
+      idx = ReshuffleFor(nbw);
+    }
+    if (idx < 0 && config_.allow_hotplug &&
+        static_cast<int>(vcpus_.size()) < config_.max_vcpus) {
+      AddVcpu();
+      idx = static_cast<int>(vcpus_.size()) - 1;
+    }
+    if (idx < 0) {
+      return kGuestErrBusy;
+    }
+    VcpuRun& vr = vcpus_[idx];
+    // Hypercall before assigning the RTA to the candidate VCPU (section 3.2).
+    int64_t rc = cross_layer_->RequestBandwidth(vr.vcpu, vr.reserved + nbw,
+                                                MinPeriodWith(vr, params.period));
+    if (rc != kHypercallOk) {
+      return kGuestErrBusy;
+    }
+    PinTask(task, idx, params);
+    Redispatch(vr);
+    return kGuestOk;
+  }
+
+  // Parameter change for an already-registered RTA.
+  VcpuRun& cur = vcpus_[task->vcpu_index()];
+  Bandwidth obw = task->params().bandwidth();
+  Bandwidth in_place = cur.reserved - obw + nbw;
+  if (in_place <= cur.capacity) {
+    // Recompute the period as if the task already had the new parameters.
+    TimeNs new_period = params.period;
+    for (const Task* t : cur.rtas) {
+      if (t != task) {
+        new_period = std::min(new_period, t->params().period);
+      }
+    }
+    if (nbw > obw) {
+      int64_t rc = cross_layer_->RequestBandwidth(cur.vcpu, in_place, new_period);
+      if (rc != kHypercallOk) {
+        return kGuestErrBusy;
+      }
+      task->params_ = params;
+      RecomputeVcpu(cur);
+    } else {
+      task->params_ = params;
+      RecomputeVcpu(cur);
+      cross_layer_->ReleaseBandwidth(cur.vcpu, cur.reserved, cur.min_period);
+    }
+    PublishDeadline(cur);
+    Redispatch(cur);
+    return kGuestOk;
+  }
+
+  // Must move to a different VCPU: INC_DEC_BW (section 3.2, case 2).
+  int idx = FindFirstFit(nbw, task->vcpu_index());
+  if (idx < 0) {
+    return kGuestErrBusy;
+  }
+  VcpuRun& to = vcpus_[idx];
+  Bandwidth from_bw = cur.reserved - obw;
+  TimeNs from_period = kTimeNever;
+  for (const Task* t : cur.rtas) {
+    if (t != task) {
+      from_period = std::min(from_period, t->params().period);
+    }
+  }
+  int64_t rc =
+      cross_layer_->MoveBandwidth(to.vcpu, to.reserved + nbw, MinPeriodWith(to, params.period),
+                                  cur.vcpu, from_bw, from_period);
+  if (rc != kHypercallOk) {
+    return kGuestErrBusy;
+  }
+  UnpinTask(task);
+  PublishDeadline(cur);
+  Redispatch(cur);
+  PinTask(task, idx, params);
+  Redispatch(to);
+  return kGuestOk;
+}
+
+int GuestOs::SchedUnregister(Task* task) {
+  if (!task->registered()) {
+    return kGuestErrInvalid;
+  }
+  if (global_edf()) {
+    return SchedUnregisterGlobal(task);
+  }
+  VcpuRun& vr = vcpus_[task->vcpu_index()];
+  UnpinTask(task);
+  task->registered_ = false;
+  task->jobs_.clear();
+  cross_layer_->ReleaseBandwidth(vr.vcpu, vr.reserved, vr.min_period);
+  PublishDeadline(vr);
+  Redispatch(vr);
+  return kGuestOk;
+}
+
+int GuestOs::ReshuffleFor(Bandwidth bw) {
+  // First-fit-decreasing over all registered RTAs plus a virtual item of
+  // bandwidth `bw` representing the incoming RTA.
+  struct Item {
+    Task* task;  // nullptr: the virtual item.
+    Bandwidth bw;
+  };
+  std::vector<Item> items;
+  items.push_back(Item{nullptr, bw});
+  for (const auto& vr : vcpus_) {
+    for (Task* t : vr.rtas) {
+      items.push_back(Item{t, t->params().bandwidth()});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.bw > b.bw; });
+
+  std::vector<Bandwidth> load(vcpus_.size());
+  std::vector<int> bin(items.size(), -1);
+  for (size_t k = 0; k < items.size(); ++k) {
+    for (size_t i = 0; i < vcpus_.size(); ++i) {
+      if (load[i] + items[k].bw <= vcpus_[i].capacity) {
+        load[i] += items[k].bw;
+        bin[k] = static_cast<int>(i);
+        break;
+      }
+    }
+    if (bin[k] < 0) {
+      return -1;  // No packing: fall back to hotplug or rejection.
+    }
+  }
+
+  // Desired post-reshuffle per-VCPU reservations, *excluding* the virtual
+  // item (the caller issues the INC_BW for the new RTA itself).
+  int target = -1;
+  std::vector<std::vector<Task*>> assign(vcpus_.size());
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (items[k].task == nullptr) {
+      target = bin[k];
+    } else {
+      assign[bin[k]].push_back(items[k].task);
+    }
+  }
+
+  std::vector<Bandwidth> new_bw(vcpus_.size());
+  std::vector<TimeNs> new_period(vcpus_.size(), kTimeNever);
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    for (const Task* t : assign[i]) {
+      new_bw[i] += t->params().bandwidth();
+      new_period[i] = std::min(new_period[i], t->params().period);
+    }
+  }
+
+  // Hypercall order: decreases first, then increases, so the host's total
+  // never transiently exceeds what it already admitted.
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (new_bw[i] < vcpus_[i].reserved) {
+      cross_layer_->ReleaseBandwidth(vcpus_[i].vcpu, new_bw[i], new_period[i]);
+    }
+  }
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (new_bw[i] > vcpus_[i].reserved) {
+      int64_t rc = cross_layer_->RequestBandwidth(vcpus_[i].vcpu, new_bw[i], new_period[i]);
+      // The total reservation did not grow, so the host must accept.
+      assert(rc == kHypercallOk);
+      (void)rc;
+    }
+  }
+
+  // Apply the task moves.
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    VcpuRun& vr = vcpus_[i];
+    for (Task* t : std::vector<Task*>(vr.rtas)) {
+      // Keep tasks already in the right bin.
+      bool stays = std::find(assign[i].begin(), assign[i].end(), t) != assign[i].end();
+      if (!stays && vr.running == t) {
+        SuspendRunning(vr);
+      }
+    }
+  }
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    vcpus_[i].rtas = assign[i];
+    for (Task* t : assign[i]) {
+      t->vcpu_index_ = static_cast<int>(i);
+    }
+    RecomputeVcpu(vcpus_[i]);
+    PublishDeadline(vcpus_[i]);
+    Redispatch(vcpus_[i]);
+  }
+  return target;
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,162 @@
+// Guest operating system model: pEDF process scheduling with cross-layer
+// cooperation (paper section 3.2).
+//
+// The guest schedules RTAs with partitioned EDF: each registered RTA is
+// pinned to one VCPU and every VCPU runs the earliest-deadline pending job
+// among its pinned RTAs. Registration performs guest-level admission control
+// (first-fit, with reshuffling when bandwidth is fragmented and CPU hotplug
+// when the VM has too few VCPUs) and drives the installed CrossLayerPolicy,
+// which under RTVirt issues sched_rtvirt() hypercalls and publishes next
+// earliest deadlines via shared memory. Background tasks run in leftover
+// time at the lowest priority.
+
+#ifndef SRC_GUEST_GUEST_OS_H_
+#define SRC_GUEST_GUEST_OS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+#include "src/guest/cross_layer.h"
+#include "src/guest/task.h"
+#include "src/hv/machine.h"
+#include "src/hv/vcpu.h"
+#include "src/hv/vm.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+
+// Guest syscall status codes.
+constexpr int kGuestOk = 0;
+constexpr int kGuestErrBusy = -16;    // -EBUSY: admission failed.
+constexpr int kGuestErrInvalid = -22;  // -EINVAL.
+
+// Guest real-time scheduling class. The paper (3.2) modifies Linux's
+// SCHED_DEADLINE from gEDF to pEDF so that per-VCPU parameters can be
+// derived cheaply; gEDF is kept for the design-choice ablation.
+enum class GuestSchedClass {
+  kPartitionedEdf,  // pEDF: RTAs pinned to VCPUs (RTVirt's choice).
+  kGlobalEdf,       // gEDF: RTAs migrate freely between VCPUs.
+};
+
+struct GuestConfig {
+  GuestSchedClass sched_class = GuestSchedClass::kPartitionedEdf;
+  // Whether registration may add VCPUs online when the existing ones cannot
+  // fit a new RTA (paper: "RTVirt uses CPU hotplug to add additional VCPUs").
+  bool allow_hotplug = false;
+  int max_vcpus = 64;
+};
+
+class GuestOs : public VcpuClient {
+ public:
+  explicit GuestOs(Vm* vm, GuestConfig config = {});
+  ~GuestOs() override;
+  GuestOs(const GuestOs&) = delete;
+  GuestOs& operator=(const GuestOs&) = delete;
+
+  Vm* vm() const { return vm_; }
+
+  // Adds a VCPU to the VM and places it under this guest's control.
+  Vcpu* AddVcpu();
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+
+  // Installs the cross-layer policy (RTVirt guests) — defaults to the inert
+  // policy (traditional, host-unaware guests).
+  void SetCrossLayer(std::unique_ptr<CrossLayerPolicy> policy);
+  CrossLayerPolicy* cross_layer() const { return cross_layer_.get(); }
+
+  // Caps the RTA bandwidth admitted on a VCPU (baselines: the CARTS-derived
+  // interface Θ/Π; RTVirt: the default of one full CPU).
+  void SetVcpuCapacity(int vcpu_index, Bandwidth capacity);
+
+  // ---- Task surface ----
+  Task* CreateTask(std::string name);
+  // Creates an always-runnable CPU-bound background task.
+  Task* CreateBackgroundTask(std::string name);
+
+  // sched_setattr(): registers `task` as an RTA or changes its parameters.
+  // Returns kGuestOk or kGuestErrBusy if admission fails at either level.
+  int SchedSetAttr(Task* task, const RtaParams& params);
+  // RTA unregisters (terminates or becomes non-time-sensitive).
+  int SchedUnregister(Task* task);
+
+  // Releases one job of `work` CPU time due at `deadline` for a registered
+  // RTA (driven by the workload generators).
+  void ReleaseJob(Task* task, TimeNs work, TimeNs deadline);
+
+  // ---- Introspection (tests, benches) ----
+  Bandwidth VcpuReservedBw(int vcpu_index) const { return vcpus_[vcpu_index].reserved; }
+  TimeNs VcpuMinPeriod(int vcpu_index) const { return vcpus_[vcpu_index].min_period; }
+  Bandwidth TotalReservedBw() const;
+  TimeNs NextEarliestDeadline(int vcpu_index) const;
+
+  // VcpuClient:
+  void OnVcpuGranted(Vcpu* vcpu) override;
+  void OnVcpuRevoked(Vcpu* vcpu) override;
+
+ private:
+  struct VcpuRun {
+    Vcpu* vcpu = nullptr;
+    std::vector<Task*> rtas;  // Pinned RTAs (pEDF).
+    Bandwidth reserved;       // Sum of pinned RTA bandwidths.
+    Bandwidth capacity = Bandwidth::One();
+    TimeNs min_period = kTimeNever;
+    bool on_cpu = false;  // Granted a PCPU right now.
+    Task* running = nullptr;
+    TimeNs run_start = 0;
+    Simulator::EventId completion_event;
+  };
+
+  Simulator* sim() const { return vm_->machine()->sim(); }
+  VcpuRun& RunOf(Vcpu* vcpu) { return vcpus_[vcpu->index()]; }
+
+  // EDF pick: earliest-deadline pending RTA job, else a background task.
+  Task* PickTask(VcpuRun& vr);
+  void Redispatch(VcpuRun& vr);
+  void StartRunning(VcpuRun& vr, Task* task);
+  void SuspendRunning(VcpuRun& vr);
+  void FinishFrontJob(VcpuRun& vr, Task* task);
+  void OnJobCompletion(VcpuRun& vr);
+  void PublishDeadline(VcpuRun& vr);
+  bool BackgroundRunningElsewhere(const Task* task, const VcpuRun& except) const;
+
+  // gEDF variants: tasks are not pinned; every VCPU carries an equal share
+  // of the total bandwidth and publishes the globally earliest deadline.
+  bool global_edf() const { return config_.sched_class == GuestSchedClass::kGlobalEdf; }
+  Task* PickTaskGlobal(VcpuRun& vr);
+  int SchedSetAttrGlobal(Task* task, const RtaParams& params);
+  int SchedUnregisterGlobal(Task* task);
+  // Re-requests every VCPU's equal share after a change of `total`; returns
+  // kHypercallOk if all requests were granted (rolls back on failure).
+  int64_t RequestGlobalShares(Bandwidth total, TimeNs min_period);
+  void PublishGlobalDeadline();
+  TimeNs GlobalEarliestDeadline() const;
+
+  // Admission helpers.
+  int FindFirstFit(Bandwidth bw, int exclude_index) const;
+  void PinTask(Task* task, int vcpu_index, const RtaParams& params);
+  void UnpinTask(Task* task);
+  void RecomputeVcpu(VcpuRun& vr);
+  TimeNs MinPeriodWith(const VcpuRun& vr, TimeNs extra_period) const;
+  // Attempts to re-partition all RTAs (plus a new one of bandwidth `bw`)
+  // first-fit-decreasing; applies the moves and returns the target VCPU for
+  // the new RTA, or -1 if no packing exists.
+  int ReshuffleFor(Bandwidth bw);
+
+  Vm* vm_;
+  GuestConfig config_;
+  std::unique_ptr<CrossLayerPolicy> cross_layer_;
+  std::vector<VcpuRun> vcpus_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> background_;
+  std::vector<Task*> global_rtas_;  // gEDF: the unpinned registered RTAs.
+  Bandwidth global_total_;          // gEDF: sum of registered bandwidths.
+  TimeNs global_min_period_ = kTimeNever;
+  size_t bg_cursor_ = 0;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_GUEST_GUEST_OS_H_

@@ -1,0 +1,49 @@
+// The sched_rtvirt() hypercall ABI (paper section 3.2).
+//
+// A guest kernel uses this call to request host-level CPU bandwidth changes
+// for its VCPUs when RTAs register, change their requirements, move between
+// VCPUs, or unregister. The host scheduler performs admission control and
+// returns one of the status codes below.
+
+#ifndef SRC_HV_HYPERCALL_H_
+#define SRC_HV_HYPERCALL_H_
+
+#include <cstdint>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+class Vcpu;
+
+// Flags of the sched_rtvirt() hypercall.
+enum class SchedOp {
+  kIncBw,     // Raise one VCPU's bandwidth reservation (RTA register / growth).
+  kDecBw,     // Lower one VCPU's bandwidth reservation (RTA shrink / unregister).
+  kIncDecBw,  // Atomically move bandwidth between two VCPUs (RTA re-pinned).
+};
+
+struct HypercallArgs {
+  SchedOp op = SchedOp::kIncBw;
+  // Primary VCPU: the one whose reservation grows (kIncBw, kIncDecBw) or
+  // shrinks (kDecBw). `bw_a`/`period_a` are the VCPU's new *total* parameters,
+  // not deltas, so the call is idempotent.
+  Vcpu* vcpu_a = nullptr;
+  Bandwidth bw_a;
+  TimeNs period_a = 0;
+  // Secondary VCPU for kIncDecBw: the one giving bandwidth up.
+  Vcpu* vcpu_b = nullptr;
+  Bandwidth bw_b;
+  TimeNs period_b = 0;
+};
+
+// Hypercall status codes (mirroring negative-errno kernel conventions).
+constexpr int64_t kHypercallOk = 0;
+constexpr int64_t kHypercallNoBandwidth = -28;   // -ENOSPC: admission rejected.
+constexpr int64_t kHypercallInvalid = -22;       // -EINVAL.
+constexpr int64_t kHypercallNotSupported = -38;  // -ENOSYS: scheduler lacks cross-layer support.
+
+}  // namespace rtvirt
+
+#endif  // SRC_HV_HYPERCALL_H_

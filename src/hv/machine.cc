@@ -1,0 +1,56 @@
+#include "src/hv/machine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+Machine::Machine(Simulator* sim, MachineConfig config) : sim_(sim), config_(config) {
+  assert(config_.num_pcpus > 0);
+  pcpus_.reserve(config_.num_pcpus);
+  for (int i = 0; i < config_.num_pcpus; ++i) {
+    pcpus_.push_back(std::make_unique<Pcpu>(this, i));
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::SetScheduler(std::unique_ptr<HostScheduler> scheduler) {
+  assert(scheduler_ == nullptr && scheduler != nullptr);
+  scheduler_ = std::move(scheduler);
+  scheduler_->Attach(this);
+}
+
+Vm* Machine::AddVm(std::string name) {
+  vms_.push_back(std::make_unique<Vm>(this, static_cast<int>(vms_.size()), std::move(name)));
+  return vms_.back().get();
+}
+
+Vcpu* Machine::RegisterVcpu(Vm* vm, int index) {
+  auto vcpu = std::make_unique<Vcpu>(vm, index, next_vcpu_global_id_++);
+  Vcpu* raw = vcpu.get();
+  vm->vcpus_.push_back(std::move(vcpu));
+  assert(scheduler_ != nullptr && "install the host scheduler before adding VCPUs");
+  scheduler_->VcpuInserted(raw);
+  return raw;
+}
+
+void Machine::Start() {
+  assert(!started_ && scheduler_ != nullptr);
+  started_ = true;
+  for (auto& p : pcpus_) {
+    p->RequestReschedule();
+  }
+}
+
+int64_t Machine::Hypercall(Vcpu* caller, const HypercallArgs& args) {
+  ++overhead_.hypercalls;
+  overhead_.hypercall_time += config_.hypercall_cost;
+  return scheduler_->Hypercall(caller, args);
+}
+
+void Machine::NotifyWake(Vcpu* vcpu) { scheduler_->VcpuWake(vcpu); }
+
+void Machine::NotifyBlock(Vcpu* vcpu) { scheduler_->VcpuBlock(vcpu); }
+
+}  // namespace rtvirt

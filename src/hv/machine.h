@@ -1,0 +1,97 @@
+// The physical host: PCPUs, VMs, the installed host scheduler, and the
+// machine-wide cost model.
+
+#ifndef SRC_HV_MACHINE_H_
+#define SRC_HV_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/hv/host_scheduler.h"
+#include "src/hv/hypercall.h"
+#include "src/hv/overhead.h"
+#include "src/hv/pcpu.h"
+#include "src/hv/vm.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+
+struct MachineConfig {
+  // Schedulable PCPUs. The paper's testbed has 16 cores with one dedicated
+  // to Dom0, leaving 15 for DomUs; Dom0 is not modelled beyond that.
+  int num_pcpus = 15;
+  // Cost of one VCPU context switch on a PCPU.
+  TimeNs context_switch_cost = 1500;  // 1.5 us.
+  // Extra cost when a VCPU resumes on a different PCPU than it last ran on
+  // (cold caches); charged on top of the context switch.
+  TimeNs migration_cost = 3000;  // 3 us.
+  // Cost of one sched_rtvirt() hypercall (paper section 4.5: ~10 us).
+  TimeNs hypercall_cost = 10000;
+};
+
+class Machine {
+ public:
+  Machine(Simulator* sim, MachineConfig config);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Simulator* sim() const { return sim_; }
+  const MachineConfig& config() const { return config_; }
+
+  // Must be called before Start(); the machine owns the scheduler.
+  void SetScheduler(std::unique_ptr<HostScheduler> scheduler);
+  HostScheduler* scheduler() const { return scheduler_.get(); }
+
+  Vm* AddVm(std::string name);
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  Vm* vm(int index) const { return vms_[index].get(); }
+
+  int num_pcpus() const { return static_cast<int>(pcpus_.size()); }
+  Pcpu* pcpu(int index) const { return pcpus_[index].get(); }
+
+  // Kicks every PCPU's scheduler once; call after creating VMs and workloads
+  // (additional VMs/VCPUs may still be added later).
+  void Start();
+
+  // Guest-initiated hypercall; charges the configured cost and dispatches to
+  // the host scheduler.
+  int64_t Hypercall(Vcpu* caller, const HypercallArgs& args);
+
+  const OverheadStats& overhead() const { return overhead_; }
+  OverheadStats& mutable_overhead() { return overhead_; }
+
+  // Notifications from Vcpu wake/block; also used by guests.
+  void NotifyWake(Vcpu* vcpu);
+  void NotifyBlock(Vcpu* vcpu);
+
+  // Optional dispatch tracer: called on every VCPU dispatch with the target
+  // PCPU, the VCPU, and whether the dispatch was counted as a migration.
+  // Used by the schedule-trace tooling (Figure 1) and by tests.
+  using DispatchTracer = std::function<void(TimeNs, const Pcpu&, const Vcpu&, bool migrated)>;
+  void SetDispatchTracer(DispatchTracer tracer) { dispatch_tracer_ = std::move(tracer); }
+  const DispatchTracer& dispatch_tracer() const { return dispatch_tracer_; }
+
+ private:
+  friend class Vm;
+  friend class Pcpu;
+
+  Vcpu* RegisterVcpu(Vm* vm, int index);
+
+  Simulator* sim_;
+  MachineConfig config_;
+  std::unique_ptr<HostScheduler> scheduler_;
+  std::vector<std::unique_ptr<Pcpu>> pcpus_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  int next_vcpu_global_id_ = 0;
+  OverheadStats overhead_;
+  DispatchTracer dispatch_tracer_;
+  bool started_ = false;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_HV_MACHINE_H_

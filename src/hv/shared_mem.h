@@ -1,0 +1,73 @@
+// Per-VM shared scheduling page (paper sections 3.1/3.3).
+//
+// The guest publishes, for each of its VCPUs, the next earliest deadline of
+// the RTAs assigned to that VCPU (8 bytes per VCPU, as the paper notes). The
+// host scheduler reads these slots when computing the next global deadline.
+// The host side publishes its most recent per-VCPU allocation so the guest
+// can observe scheduling decisions. On real hardware this is a granted memory
+// page read via cache coherence with no explicit synchronization; in the
+// simulator it is plain shared state.
+
+#ifndef SRC_HV_SHARED_MEM_H_
+#define SRC_HV_SHARED_MEM_H_
+
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+class SharedSchedPage {
+ public:
+  // Guest side: publish the next earliest deadline among the RTAs pinned to
+  // VCPU `vcpu_index`. kTimeNever means "no time-sensitive work".
+  void PublishNextDeadline(int vcpu_index, TimeNs deadline) {
+    Ensure(vcpu_index);
+    slots_[vcpu_index].next_deadline = deadline;
+  }
+
+  // Host side: read the guest-published deadline.
+  TimeNs next_deadline(int vcpu_index) const {
+    if (vcpu_index < 0 || static_cast<size_t>(vcpu_index) >= slots_.size()) {
+      return kTimeNever;
+    }
+    return slots_[vcpu_index].next_deadline;
+  }
+
+  // Host side: publish the CPU time allocated to the VCPU in the current
+  // global slice so the guest can align its decisions with the host's.
+  void PublishAllocation(int vcpu_index, TimeNs slice_start, TimeNs slice_len) {
+    Ensure(vcpu_index);
+    slots_[vcpu_index].alloc_start = slice_start;
+    slots_[vcpu_index].alloc_len = slice_len;
+  }
+
+  TimeNs allocation_start(int vcpu_index) const {
+    return Valid(vcpu_index) ? slots_[vcpu_index].alloc_start : 0;
+  }
+  TimeNs allocation_length(int vcpu_index) const {
+    return Valid(vcpu_index) ? slots_[vcpu_index].alloc_len : 0;
+  }
+
+ private:
+  struct Slot {
+    TimeNs next_deadline = kTimeNever;
+    TimeNs alloc_start = 0;
+    TimeNs alloc_len = 0;
+  };
+
+  bool Valid(int vcpu_index) const {
+    return vcpu_index >= 0 && static_cast<size_t>(vcpu_index) < slots_.size();
+  }
+  void Ensure(int vcpu_index) {
+    if (static_cast<size_t>(vcpu_index) >= slots_.size()) {
+      slots_.resize(vcpu_index + 1);
+    }
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_HV_SHARED_MEM_H_

@@ -1,0 +1,24 @@
+#include "src/hv/vm.h"
+
+#include <utility>
+
+#include "src/hv/machine.h"
+
+namespace rtvirt {
+
+Vm::Vm(Machine* machine, int id, std::string name)
+    : machine_(machine), id_(id), name_(std::move(name)) {}
+
+Vcpu* Vm::AddVcpu() {
+  return machine_->RegisterVcpu(this, static_cast<int>(vcpus_.size()));
+}
+
+TimeNs Vm::TotalRuntime() const {
+  TimeNs total = 0;
+  for (const auto& v : vcpus_) {
+    total += v->total_runtime();
+  }
+  return total;
+}
+
+}  // namespace rtvirt

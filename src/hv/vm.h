@@ -1,0 +1,57 @@
+// Virtual machine: a named collection of VCPUs plus the shared scheduling
+// page used by the cross-layer interface.
+
+#ifndef SRC_HV_VM_H_
+#define SRC_HV_VM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hv/shared_mem.h"
+#include "src/hv/vcpu.h"
+
+namespace rtvirt {
+
+class Machine;
+
+class Vm {
+ public:
+  Vm(Machine* machine, int id, std::string name);
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Machine* machine() const { return machine_; }
+
+  // Adds a VCPU (also usable mid-simulation: CPU hotplug, paper section 3.2).
+  Vcpu* AddVcpu();
+
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  Vcpu* vcpu(int index) const { return vcpus_[index].get(); }
+
+  SharedSchedPage& shared_page() { return shared_page_; }
+  const SharedSchedPage& shared_page() const { return shared_page_; }
+
+  // Proportional-share weight for non-time-sensitive (best-effort) CPU time.
+  int weight() const { return weight_; }
+  void set_weight(int weight) { weight_ = weight; }
+
+  // Total guest execution time across this VM's VCPUs.
+  TimeNs TotalRuntime() const;
+
+ private:
+  friend class Machine;
+
+  Machine* machine_;
+  int id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  SharedSchedPage shared_page_;
+  int weight_ = 256;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_HV_VM_H_

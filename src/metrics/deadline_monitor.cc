@@ -1,0 +1,40 @@
+#include "src/metrics/deadline_monitor.h"
+
+#include <algorithm>
+
+namespace rtvirt {
+
+void DeadlineMonitor::OnJobCompleted(const Task& task, const Job& job, TimeNs completion) {
+  TaskStats& ts = per_task_[task.name()];
+  ++ts.completed;
+  ++total_.completed;
+  ts.max_response = std::max(ts.max_response, completion - job.release);
+  total_.max_response = std::max(total_.max_response, completion - job.release);
+  if (completion > job.deadline) {
+    ++ts.misses;
+    ++total_.misses;
+    ts.max_tardiness = std::max(ts.max_tardiness, completion - job.deadline);
+    total_.max_tardiness = std::max(total_.max_tardiness, completion - job.deadline);
+  }
+  response_us_.Add(ToUs(completion - job.release));
+}
+
+double DeadlineMonitor::WorstTaskMissRatio() const {
+  double worst = 0.0;
+  for (const auto& [name, ts] : per_task_) {
+    worst = std::max(worst, ts.MissRatio());
+  }
+  return worst;
+}
+
+int DeadlineMonitor::TasksWithMisses() const {
+  int n = 0;
+  for (const auto& [name, ts] : per_task_) {
+    if (ts.misses > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace rtvirt

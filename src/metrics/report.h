@@ -1,0 +1,41 @@
+// Text-report helpers: aligned tables and CDF/percentile dumps matching the
+// rows and series the paper's tables and figures present.
+
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace rtvirt {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& out) const;
+
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "pXX  value" lines for the given percentiles (values as-is, caller
+// chooses the unit).
+void PrintPercentiles(std::ostream& out, const Samples& samples,
+                      const std::vector<double>& percentiles, const std::string& unit);
+
+// Prints a CDF like Figure 5: `points` (value, fraction) rows.
+void PrintCdf(std::ostream& out, const Samples& samples, size_t points,
+              const std::string& unit);
+
+}  // namespace rtvirt
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,465 @@
+#include "src/rtvirt/dpwrap.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hv/machine.h"
+#include "src/rtvirt/wrap_layout.h"
+
+namespace rtvirt {
+
+DpWrapScheduler::DpWrapScheduler(DpWrapConfig config) : config_(config) {}
+
+void DpWrapScheduler::Attach(Machine* machine) {
+  HostScheduler::Attach(machine);
+  capacity_ = Bandwidth::Cpus(machine->num_pcpus());
+  pcpu_plan_.resize(machine->num_pcpus());
+  if (config_.idle_tax.enabled) {
+    tax_event_ = machine_->sim()->After(config_.idle_tax.window, [this] { TaxTick(); });
+  }
+}
+
+void DpWrapScheduler::AccountRun(Vcpu* vcpu, TimeNs ran) {
+  auto it = reservations_.find(vcpu);
+  if (it != reservations_.end()) {
+    it->second.used_in_window += ran;
+  }
+}
+
+void DpWrapScheduler::TaxTick() {
+  // Settle in-flight runs so usage is attributed to this window.
+  for (int i = 0; i < machine_->num_pcpus(); ++i) {
+    machine_->pcpu(i)->SettleAccounting();
+  }
+  double window = static_cast<double>(config_.idle_tax.window);
+  bool changed = false;
+  for (auto& [v, res] : reservations_) {
+    double granted = static_cast<double>(res.EffectiveBw().ppb()) / Bandwidth::kUnit * window;
+    double u = granted > 0 ? static_cast<double>(res.used_in_window) / granted : 0.0;
+    double next = std::clamp(res.tax_factor * std::min(u, 1.0) + config_.idle_tax.headroom,
+                             config_.idle_tax.min_factor, 1.0);
+    if (std::abs(next - res.tax_factor) > 1e-3) {
+      res.tax_factor = next;
+      changed = true;
+    }
+    res.used_in_window = 0;
+  }
+  tax_event_ = machine_->sim()->After(config_.idle_tax.window, [this] { TaxTick(); });
+  if (changed) {
+    ScheduleReplan();
+  }
+}
+
+Bandwidth DpWrapScheduler::total_effective() const {
+  if (!config_.idle_tax.enabled) {
+    return total_;
+  }
+  Bandwidth total;
+  for (const auto& [v, res] : reservations_) {
+    total += res.EffectiveBw();
+  }
+  return total;
+}
+
+double DpWrapScheduler::TaxFactor(const Vcpu* vcpu) const {
+  auto it = reservations_.find(vcpu);
+  return it == reservations_.end() ? 1.0 : it->second.tax_factor;
+}
+
+void DpWrapScheduler::VcpuInserted(Vcpu* vcpu) { all_vcpus_.push_back(vcpu); }
+
+void DpWrapScheduler::VcpuRemoved(Vcpu* vcpu) {
+  all_vcpus_.erase(std::remove(all_vcpus_.begin(), all_vcpus_.end(), vcpu), all_vcpus_.end());
+  auto it = reservations_.find(vcpu);
+  if (it != reservations_.end()) {
+    total_ -= it->second.bw;
+    reservations_.erase(it);
+    ScheduleReplan();
+  }
+  vcpu_segments_.erase(vcpu);
+}
+
+void DpWrapScheduler::SetAffinity(Vcpu* vcpu, int pcpu) {
+  assert(pcpu >= -1 && pcpu < machine_->num_pcpus());
+  // Persist the pin across reservation lifetimes (an RTA may unregister and
+  // re-register; the VM's cache-locality preference does not change).
+  pending_affinity_[vcpu] = pcpu;
+  auto it = reservations_.find(vcpu);
+  if (it != reservations_.end()) {
+    it->second.affinity = pcpu;
+    ScheduleReplan();
+  }
+}
+
+int DpWrapScheduler::Affinity(const Vcpu* vcpu) const {
+  auto it = reservations_.find(vcpu);
+  if (it != reservations_.end()) {
+    return it->second.affinity;
+  }
+  auto pending = pending_affinity_.find(vcpu);
+  return pending == pending_affinity_.end() ? -1 : pending->second;
+}
+
+Bandwidth DpWrapScheduler::ReservedBw(const Vcpu* vcpu) const {
+  auto it = reservations_.find(vcpu);
+  return it == reservations_.end() ? Bandwidth::Zero() : it->second.bw;
+}
+
+bool DpWrapScheduler::HasActiveSegment(const Vcpu* vcpu, TimeNs now) const {
+  auto it = vcpu_segments_.find(vcpu);
+  if (it == vcpu_segments_.end()) {
+    return false;
+  }
+  for (const PlanSegment& seg : it->second) {
+    if (seg.start <= now && now < seg.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DpWrapScheduler::TickleAll() {
+  for (int i = 0; i < machine_->num_pcpus(); ++i) {
+    machine_->pcpu(i)->RequestReschedule();
+  }
+}
+
+void DpWrapScheduler::ScheduleReplan() {
+  if (replan_pending_) {
+    return;
+  }
+  replan_pending_ = true;
+  machine_->sim()->After(0, [this] {
+    replan_pending_ = false;
+    Replan();
+  });
+}
+
+void DpWrapScheduler::Replan() {
+  Simulator* sim = machine_->sim();
+  TimeNs now = sim->Now();
+  sim->Cancel(replan_event_);
+  sim->Cancel(early_replan_event_);
+  ++replans_;
+
+  // Cost model: the global deadline is derived on one PCPU in O(log n) from
+  // the per-VCPU deadlines (section 4.5) and shared with the others.
+  TimeNs cost = config_.replan_cost_base;
+  for (size_t k = reservations_.size(); k > 1; k >>= 1) {
+    cost += config_.replan_cost_per_log;
+  }
+  machine_->mutable_overhead().schedule_time += cost;
+
+  slice_start_ = now;
+  TimeNs next_gd = now + config_.max_global_slice;
+  for (const auto& [v, res] : reservations_) {
+    TimeNs cand = v->vm()->shared_page().next_deadline(v->index());
+    if (cand <= now) {
+      // Stale publication: apply the sporadic worst case — the VCPU's RTAs
+      // may activate immediately with their minimum period.
+      cand = now + res.period;
+    }
+    next_gd = std::min(next_gd, cand);
+  }
+  next_gd = std::max(next_gd, now + config_.min_global_slice);
+  slice_end_ = next_gd;
+  TimeNs slice_len = slice_end_ - slice_start_;
+
+  // Proportional split of the global slice, laid out in stable order so a
+  // VCPU's segment offsets stay put across slices unless reservations change.
+  std::vector<Reservation*> ordered;
+  ordered.reserve(reservations_.size());
+  for (auto& [v, res] : reservations_) {
+    ordered.push_back(&res);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Reservation* a, const Reservation* b) { return a->order < b->order; });
+
+  // Proportional allocations with a per-reservation sub-ns carry, keeping the
+  // cumulative supply within 1 ns of the fluid schedule over any window.
+  auto take_alloc = [&](Reservation* res, TimeNs cap) {
+    __int128 raw =
+        static_cast<__int128>(res->EffectiveBw().ppb()) * slice_len + res->carry_ppb;
+    TimeNs alloc = std::min(static_cast<TimeNs>(raw / Bandwidth::kUnit), cap);
+    // Clipped share stays in the carry (bounded to one period of backlog).
+    __int128 carry = raw - static_cast<__int128>(alloc) * Bandwidth::kUnit;
+    __int128 carry_max = static_cast<__int128>(res->EffectiveBw().ppb()) * res->period;
+    res->carry_ppb = static_cast<int64_t>(std::min(carry, carry_max));
+    return alloc;
+  };
+
+  for (auto& plan : pcpu_plan_) {
+    plan.clear();
+  }
+  vcpu_segments_.clear();
+  auto emit = [&](Vcpu* v, int pcpu, TimeNs start, TimeNs end) {
+    PlanSegment ps{v, pcpu, slice_start_ + start, slice_start_ + end};
+    pcpu_plan_[pcpu].push_back(ps);
+    vcpu_segments_[v].push_back(ps);
+  };
+
+  // Affinity-pinned reservations first, at the head of their PCPU's chunk:
+  // they never migrate and never split (paper section 6).
+  std::vector<TimeNs> occupied(machine_->num_pcpus(), 0);
+  std::vector<Reservation*> wrapped;
+  wrapped.reserve(ordered.size());
+  for (Reservation* res : ordered) {
+    if (res->affinity < 0) {
+      wrapped.push_back(res);
+      continue;
+    }
+    int pcpu = res->affinity;
+    TimeNs alloc = take_alloc(res, slice_len - occupied[pcpu]);
+    if (alloc > 0) {
+      emit(res->vcpu, pcpu, occupied[pcpu], occupied[pcpu] + alloc);
+      occupied[pcpu] += alloc;
+    }
+  }
+
+  // Everything else wraps into the remaining space (McNaughton).
+  TimeNs free_total = 0;
+  for (TimeNs occ : occupied) {
+    free_total += slice_len - occ;
+  }
+  std::vector<WrapItem> items;
+  items.reserve(wrapped.size());
+  TimeNs allocated = 0;
+  for (size_t i = 0; i < wrapped.size(); ++i) {
+    // The carries can overshoot capacity by < n ns; trim the tail.
+    TimeNs alloc = take_alloc(wrapped[i], std::min(slice_len, free_total - allocated));
+    allocated += alloc;
+    items.push_back(WrapItem{static_cast<int>(i), alloc});
+  }
+  std::vector<WrapSegment> segments = WrapAroundFrom(items, slice_len, occupied);
+  for (const WrapSegment& seg : segments) {
+    emit(wrapped[seg.item_id]->vcpu, seg.pcpu, seg.start, seg.end);
+  }
+  // Host->guest notification of the slice allocation (Figure 2).
+  for (const auto& [v, segs] : vcpu_segments_) {
+    TimeNs alloc = 0;
+    for (const PlanSegment& s : segs) {
+      alloc += s.end - s.start;
+    }
+    v->vm()->shared_page().PublishAllocation(v->index(), segs.front().start, alloc);
+  }
+
+  replan_event_ = sim->At(slice_end_, [this] { Replan(); });
+  TickleAll();
+}
+
+Vcpu* DpWrapScheduler::PickBestEffort(TimeNs now, Pcpu* pcpu) {
+  size_t n = all_vcpus_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Vcpu* v = all_vcpus_[(be_cursor_ + i) % n];
+    bool continuing = v->running() && v->pcpu() == pcpu;
+    if (!v->runnable() && !continuing) {
+      continue;
+    }
+    if (HasActiveSegment(v, now)) {
+      continue;  // Its own segment's PCPU is about to pick it.
+    }
+    be_cursor_ = (be_cursor_ + i + 1) % n;
+    return v;
+  }
+  return nullptr;
+}
+
+ScheduleDecision DpWrapScheduler::PickNext(Pcpu* pcpu) {
+  TimeNs now = machine_->sim()->Now();
+  if (now >= slice_end_) {
+    Replan();
+  }
+
+  const std::vector<PlanSegment>& plan = pcpu_plan_[pcpu->id()];
+  for (const PlanSegment& seg : plan) {
+    if (seg.end <= now) {
+      continue;
+    }
+    if (seg.start > now) {
+      // Gap before the next reserved segment: best-effort fill.
+      Vcpu* be = PickBestEffort(now, pcpu);
+      if (be != nullptr) {
+        return ScheduleDecision{be, std::min(seg.start, now + config_.best_effort_quantum)};
+      }
+      return ScheduleDecision{nullptr, seg.start};
+    }
+    // Active reserved segment.
+    Vcpu* v = seg.vcpu;
+    if (v->running() && v->pcpu() != pcpu) {
+      // The earlier piece of this (split) VCPU has not been descheduled yet;
+      // its stop event is queued at this same instant. Re-tickle both sides.
+      v->pcpu()->RequestReschedule();
+      pcpu->RequestReschedule();
+      return ScheduleDecision{nullptr, seg.end};
+    }
+    if (v->runnable() || (v->running() && v->pcpu() == pcpu)) {
+      return ScheduleDecision{v, seg.end};
+    }
+    // Reserved VCPU is blocked: backfill, but re-check at segment end.
+    Vcpu* be = PickBestEffort(now, pcpu);
+    if (be != nullptr) {
+      return ScheduleDecision{be, std::min(seg.end, now + config_.best_effort_quantum)};
+    }
+    return ScheduleDecision{nullptr, seg.end};
+  }
+  // Trailing residual time up to the global deadline.
+  Vcpu* be = PickBestEffort(now, pcpu);
+  if (be != nullptr) {
+    return ScheduleDecision{be, std::min(slice_end_, now + config_.best_effort_quantum)};
+  }
+  return ScheduleDecision{nullptr, slice_end_};
+}
+
+void DpWrapScheduler::VcpuWake(Vcpu* vcpu) {
+  TimeNs now = machine_->sim()->Now();
+  // How much of this VCPU's reserved time is still ahead in the current
+  // slice, and which PCPU serves it next.
+  TimeNs remaining_seg = 0;
+  const PlanSegment* next_seg = nullptr;
+  auto it = vcpu_segments_.find(vcpu);
+  if (it != vcpu_segments_.end()) {
+    for (const PlanSegment& seg : it->second) {
+      if (seg.end > now) {
+        remaining_seg += seg.end - std::max(seg.start, now);
+        if (next_seg == nullptr) {
+          next_seg = &seg;
+        }
+      }
+    }
+  }
+  auto res = reservations_.find(vcpu);
+  if (res != reservations_.end() && config_.replan_on_wake) {
+    // Replan when the wake finds a substantial part of this slice's share
+    // already gone (fully passed, or the wake landed mid-segment): the
+    // arrival would otherwise wait most of a period for the next slice.
+    // Never replan within min_global_slice of the last plan.
+    TimeNs full_share = res->second.EffectiveBw().SliceOf(slice_end_ - slice_start_);
+    if (remaining_seg + Us(1) < full_share) {
+      TimeNs earliest = slice_start_ + config_.min_global_slice;
+      if (now >= earliest) {
+        Replan();
+        return;
+      }
+      if (!early_replan_event_.valid()) {
+        early_replan_event_ = machine_->sim()->At(earliest, [this] { Replan(); });
+      }
+      // The deferral costs this reservation bw * (earliest - now) of supply
+      // before its deadline; compensate through the carry accumulator so the
+      // deferred slice hands the share back.
+      res->second.carry_ppb += res->second.EffectiveBw().ppb() * (earliest - now);
+      // Fall through: use whatever segment time remains until the replan.
+    }
+  }
+  if (next_seg != nullptr) {
+    machine_->pcpu(next_seg->pcpu)->RequestReschedule();
+    return;
+  }
+  if (res != reservations_.end()) {
+    return;  // replan_on_wake off: served from the next global slice on.
+  }
+  // Best-effort wake: grab an idle PCPU if there is one (round-robin so
+  // simultaneous wakes tickle distinct PCPUs).
+  int n = machine_->num_pcpus();
+  for (int k = 0; k < n; ++k) {
+    Pcpu* p = machine_->pcpu((tickle_cursor_ + k) % n);
+    if (p->idle()) {
+      tickle_cursor_ = (p->id() + 1) % n;
+      p->RequestReschedule();
+      return;
+    }
+  }
+}
+
+void DpWrapScheduler::VcpuBlock(Vcpu* vcpu) { (void)vcpu; }
+
+TimeNs DpWrapScheduler::ScheduleCost(const Pcpu* pcpu) const {
+  (void)pcpu;
+  return config_.pick_cost;
+}
+
+int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period,
+                                          bool admit) {
+  if (bw > Bandwidth::One() || bw < Bandwidth::Zero()) {
+    return kHypercallInvalid;
+  }
+  if (bw > Bandwidth::Zero() && period <= 0) {
+    return kHypercallInvalid;
+  }
+  auto it = reservations_.find(vcpu);
+  Bandwidth old = it == reservations_.end() ? Bandwidth::Zero() : it->second.bw;
+  Bandwidth new_total = total_ - old + bw;
+  if (admit) {
+    // With the idle tax, admission runs against the *taxed* total: idle
+    // over-claims do not block new tenants.
+    Bandwidth old_eff =
+        it == reservations_.end() ? Bandwidth::Zero() : it->second.EffectiveBw();
+    Bandwidth admitted_total = total_effective() - old_eff + bw;
+    if (admitted_total > capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb)) {
+      return kHypercallNoBandwidth;
+    }
+  }
+  total_ = new_total;
+  TimeNs clamped_period = std::min(period, config_.max_global_slice);
+  if (bw == Bandwidth::Zero()) {
+    if (it != reservations_.end()) {
+      reservations_.erase(it);
+    }
+  } else if (it != reservations_.end()) {
+    it->second.bw = bw;
+    it->second.period = clamped_period;
+  } else {
+    Reservation res;
+    res.vcpu = vcpu;
+    res.bw = bw;
+    res.period = clamped_period;
+    res.order = next_order_++;
+    auto pending = pending_affinity_.find(vcpu);
+    if (pending != pending_affinity_.end()) {
+      res.affinity = pending->second;
+    }
+    reservations_[vcpu] = res;
+  }
+  return kHypercallOk;
+}
+
+int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
+  (void)caller;
+  if (args.vcpu_a == nullptr) {
+    return kHypercallInvalid;
+  }
+  int64_t rc = kHypercallInvalid;
+  switch (args.op) {
+    case SchedOp::kIncBw:
+      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true);
+      break;
+    case SchedOp::kDecBw:
+      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/false);
+      break;
+    case SchedOp::kIncDecBw: {
+      if (args.vcpu_b == nullptr) {
+        return kHypercallInvalid;
+      }
+      auto itb = reservations_.find(args.vcpu_b);
+      Bandwidth old_b = itb == reservations_.end() ? Bandwidth::Zero() : itb->second.bw;
+      TimeNs old_period_b = itb == reservations_.end() ? 0 : itb->second.period;
+      int64_t rc_b =
+          ApplyReservation(args.vcpu_b, args.bw_b, args.period_b, /*admit=*/false);
+      if (rc_b != kHypercallOk) {
+        return rc_b;
+      }
+      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true);
+      if (rc != kHypercallOk) {
+        // Roll the donor back.
+        ApplyReservation(args.vcpu_b, old_b, old_period_b, /*admit=*/false);
+        return rc;
+      }
+      break;
+    }
+  }
+  if (rc == kHypercallOk) {
+    ScheduleReplan();
+  }
+  return rc;
+}
+
+}  // namespace rtvirt

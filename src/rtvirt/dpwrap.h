@@ -1,0 +1,160 @@
+// RTVirt's host-level DP-WRAP scheduler (paper section 3.3).
+//
+// VCPUs with sched_rtvirt() reservations are scheduled with deadline
+// partitioning: the host computes the next global deadline as the earliest
+// next-deadline published (via shared memory) by any reserved VCPU, splits
+// the global slice between consecutive global deadlines among the reserved
+// VCPUs proportionally to their bandwidths, and lays the allocations onto
+// PCPUs with McNaughton's wrap-around — at most m-1 migrations per slice.
+// Remaining time runs best-effort VCPUs round-robin, which is how non-RTA
+// VMs and background work receive the system's residual bandwidth.
+
+#ifndef SRC_RTVIRT_DPWRAP_H_
+#define SRC_RTVIRT_DPWRAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+#include "src/hv/host_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+
+struct DpWrapConfig {
+  // Lower bound on the interval between global deadlines, bounding the
+  // scheduling overhead (paper: 250 us, empirically set for the hardware).
+  TimeNs min_global_slice = Us(250);
+  // Horizon used when no reserved VCPU publishes a deadline.
+  TimeNs max_global_slice = Ms(100);
+  // Replan early when a reserved VCPU wakes after its segments in the
+  // current slice have passed (dynamic adaptation, section 4.3).
+  bool replan_on_wake = true;
+  // Round-robin quantum for best-effort (non-reserved) VCPUs.
+  TimeNs best_effort_quantum = Ms(1);
+  // Virtual cost model for Table 6: one O(1) VCPU pick, and one global
+  // deadline computation per slice costing base + per_log * log2(n_vcpus).
+  TimeNs pick_cost = 300;          // ns
+  TimeNs replan_cost_base = 800;   // ns
+  TimeNs replan_cost_per_log = 200;  // ns
+  // Admission tolerance in parts-per-billion. Bandwidths are rounded *up*
+  // to whole ppb per reservation, so a task set using exactly 100% of the
+  // host can exceed capacity by a few ppb; the tolerance covers that
+  // rounding (the planner trims any over-allocation when slicing anyway).
+  int64_t admission_epsilon_ppb = 64;
+
+  // Idle tax (paper section 6): untrusted guests may claim more bandwidth
+  // than they use. When enabled, each reservation's actual usage is observed
+  // per window and its *effective* allocation shrinks towards its usage
+  // (never below min_factor of the claim); admission is performed against
+  // the taxed total, so hoarded-but-idle bandwidth becomes admissible again.
+  struct IdleTax {
+    bool enabled = false;
+    TimeNs window = Sec(1);
+    double headroom = 0.25;   // Grant this much above observed usage.
+    double min_factor = 0.1;  // Never tax below 10% of the claim.
+  };
+  IdleTax idle_tax;
+};
+
+class DpWrapScheduler : public HostScheduler {
+ public:
+  explicit DpWrapScheduler(DpWrapConfig config = {});
+
+  std::string_view name() const override { return "rtvirt-dpwrap"; }
+  void Attach(Machine* machine) override;
+  void VcpuInserted(Vcpu* vcpu) override;
+  void VcpuRemoved(Vcpu* vcpu) override;
+  void VcpuWake(Vcpu* vcpu) override;
+  void VcpuBlock(Vcpu* vcpu) override;
+  ScheduleDecision PickNext(Pcpu* pcpu) override;
+  void AccountRun(Vcpu* vcpu, TimeNs ran) override;
+  int64_t Hypercall(Vcpu* caller, const HypercallArgs& args) override;
+  TimeNs ScheduleCost(const Pcpu* pcpu) const override;
+
+  // CPU affinity (paper section 6): a reserved VCPU pinned to a PCPU is laid
+  // out at the start of that PCPU's chunk every slice and excluded from the
+  // m-1 migrating VCPUs. Pass -1 to clear. The combined bandwidth of the
+  // VCPUs pinned to one PCPU must not exceed 1.0.
+  void SetAffinity(Vcpu* vcpu, int pcpu);
+  int Affinity(const Vcpu* vcpu) const;
+
+  // Introspection.
+  Bandwidth total_reserved() const { return total_; }
+  Bandwidth capacity() const { return capacity_; }
+  Bandwidth ReservedBw(const Vcpu* vcpu) const;
+  uint64_t replans() const { return replans_; }
+  TimeNs slice_start() const { return slice_start_; }
+  TimeNs slice_end() const { return slice_end_; }
+  // Taxed (effective) total and per-VCPU tax factor; equals the raw values
+  // when the idle tax is disabled.
+  Bandwidth total_effective() const;
+  double TaxFactor(const Vcpu* vcpu) const;
+
+ private:
+  struct Reservation {
+    Vcpu* vcpu = nullptr;
+    Bandwidth bw;
+    TimeNs period = 0;
+    uint64_t order = 0;  // Stable layout order: keeps segments at stable offsets.
+    // Sub-ns remainder carried between slices so that the cumulative
+    // allocation tracks the fluid schedule to within 1 ns over any window.
+    int64_t carry_ppb = 0;
+    int affinity = -1;  // PCPU this VCPU is pinned to; -1 = may migrate.
+    // Idle tax state: observed usage in the current window and the factor
+    // currently applied to the claimed bandwidth.
+    TimeNs used_in_window = 0;
+    double tax_factor = 1.0;
+
+    Bandwidth EffectiveBw() const {
+      return tax_factor >= 1.0
+                 ? bw
+                 : Bandwidth::FromPpb(static_cast<int64_t>(
+                       static_cast<double>(bw.ppb()) * tax_factor));
+    }
+  };
+  struct PlanSegment {
+    Vcpu* vcpu = nullptr;
+    int pcpu = 0;
+    TimeNs start = 0;  // Absolute.
+    TimeNs end = 0;    // Absolute.
+  };
+
+  // Recomputes the global deadline and the per-PCPU plan, effective now.
+  void Replan();
+  // Coalesced deferred replan (multiple hypercalls in one instant).
+  void ScheduleReplan();
+  void TickleAll();
+  Vcpu* PickBestEffort(TimeNs now, Pcpu* pcpu);
+  bool HasActiveSegment(const Vcpu* vcpu, TimeNs now) const;
+  int64_t ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period, bool admit);
+  // Periodic idle-tax accounting: adjusts tax factors from observed usage.
+  void TaxTick();
+
+  DpWrapConfig config_;
+  Bandwidth capacity_;
+  std::unordered_map<const Vcpu*, Reservation> reservations_;
+  std::unordered_map<const Vcpu*, int> pending_affinity_;  // Pins set pre-reservation.
+  std::vector<Vcpu*> all_vcpus_;
+  Bandwidth total_;
+  uint64_t next_order_ = 0;
+
+  TimeNs slice_start_ = 0;
+  TimeNs slice_end_ = 0;
+  std::vector<std::vector<PlanSegment>> pcpu_plan_;                   // Per PCPU.
+  std::unordered_map<const Vcpu*, std::vector<PlanSegment>> vcpu_segments_;
+  Simulator::EventId replan_event_;
+  Simulator::EventId early_replan_event_;
+  Simulator::EventId tax_event_;
+  bool replan_pending_ = false;
+
+  size_t be_cursor_ = 0;
+  int tickle_cursor_ = 0;
+  uint64_t replans_ = 0;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_RTVIRT_DPWRAP_H_

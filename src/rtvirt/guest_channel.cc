@@ -1,0 +1,55 @@
+#include "src/rtvirt/guest_channel.h"
+
+#include <algorithm>
+
+namespace rtvirt {
+
+Bandwidth RtvirtGuestChannel::WithSlack(Bandwidth rta_bw, TimeNs period) const {
+  if (rta_bw == Bandwidth::Zero() || period <= 0 || period >= kTimeNever) {
+    return rta_bw;
+  }
+  auto slack = static_cast<TimeNs>(static_cast<double>(options_.budget_slack) *
+                                   options_.priority_scale);
+  slack = std::min(slack, static_cast<TimeNs>(static_cast<double>(period) *
+                                              options_.max_slack_fraction));
+  Bandwidth padded = rta_bw + Bandwidth::FromSlicePeriod(slack, period);
+  return std::min(padded, Bandwidth::One());
+}
+
+int64_t RtvirtGuestChannel::RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = vcpu;
+  args.bw_a = WithSlack(rta_bw, period);
+  args.period_a = period;
+  return machine_->Hypercall(vcpu, args);
+}
+
+int64_t RtvirtGuestChannel::MoveBandwidth(Vcpu* to, Bandwidth to_bw, TimeNs to_period,
+                                          Vcpu* from, Bandwidth from_bw,
+                                          TimeNs from_period) {
+  HypercallArgs args;
+  args.op = SchedOp::kIncDecBw;
+  args.vcpu_a = to;
+  args.bw_a = WithSlack(to_bw, to_period);
+  args.period_a = to_period;
+  args.vcpu_b = from;
+  args.bw_b = WithSlack(from_bw, from_period);
+  args.period_b = from_period;
+  return machine_->Hypercall(to, args);
+}
+
+void RtvirtGuestChannel::ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+  HypercallArgs args;
+  args.op = SchedOp::kDecBw;
+  args.vcpu_a = vcpu;
+  args.bw_a = WithSlack(rta_bw, period);
+  args.period_a = period;
+  machine_->Hypercall(vcpu, args);
+}
+
+void RtvirtGuestChannel::PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) {
+  vcpu->vm()->shared_page().PublishNextDeadline(vcpu->index(), deadline);
+}
+
+}  // namespace rtvirt

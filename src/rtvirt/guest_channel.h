@@ -1,0 +1,54 @@
+// Guest-side implementation of the cross-layer channel (paper section 3.2):
+// translates guest scheduler events into sched_rtvirt() hypercalls and
+// shared-memory deadline publications.
+
+#ifndef SRC_RTVIRT_GUEST_CHANNEL_H_
+#define SRC_RTVIRT_GUEST_CHANNEL_H_
+
+#include <cstdint>
+
+#include "src/common/bandwidth.h"
+#include "src/common/time.h"
+#include "src/guest/cross_layer.h"
+#include "src/hv/machine.h"
+
+namespace rtvirt {
+
+struct GuestChannelOptions {
+  // Extra budget per VCPU period, compensating for guest- and VMM-level
+  // scheduling overheads (paper: 500 us, empirically determined).
+  TimeNs budget_slack = Us(500);
+  // Priority-proportional slack (paper section 6): higher-priority VMs get
+  // proportionally more slack, making their residual miss probability lower
+  // than that of less important VMs. Effective slack = budget_slack * scale.
+  double priority_scale = 1.0;
+  // Upper bound on the slack as a fraction of the VCPU period, protecting
+  // short-period reservations (e.g., a 500 us memcached SLO) from a slack
+  // tuned for millisecond periods: 500 us of slack on a 500 us period would
+  // otherwise double the reservation to a full CPU.
+  double max_slack_fraction = 0.1;
+};
+
+class RtvirtGuestChannel : public CrossLayerPolicy {
+ public:
+  explicit RtvirtGuestChannel(Machine* machine, GuestChannelOptions options = {})
+      : machine_(machine), options_(options) {}
+
+  int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) override;
+  int64_t MoveBandwidth(Vcpu* to, Bandwidth to_bw, TimeNs to_period, Vcpu* from,
+                        Bandwidth from_bw, TimeNs from_period) override;
+  void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) override;
+  void PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) override;
+
+  // The VCPU budget actually requested from the host: the RTAs' aggregate
+  // bandwidth plus the slack, capped at one full CPU.
+  Bandwidth WithSlack(Bandwidth rta_bw, TimeNs period) const;
+
+ private:
+  Machine* machine_;
+  GuestChannelOptions options_;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_RTVIRT_GUEST_CHANNEL_H_

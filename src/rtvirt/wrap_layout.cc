@@ -1,0 +1,102 @@
+#include "src/rtvirt/wrap_layout.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtvirt {
+
+std::vector<WrapSegment> WrapAround(std::span<const WrapItem> items, TimeNs slice_len,
+                                    int pcpus) {
+  assert(slice_len > 0 && pcpus > 0);
+  std::vector<WrapSegment> segments;
+  segments.reserve(items.size() + pcpus);
+
+  TimeNs cursor = 0;  // Position on the unrolled line of length pcpus * slice_len.
+  for (const WrapItem& item : items) {
+    assert(item.alloc >= 0 && item.alloc <= slice_len);
+    TimeNs remaining = item.alloc;
+    while (remaining > 0) {
+      int chunk = static_cast<int>(cursor / slice_len);
+      assert(chunk < pcpus && "allocations exceed pcpus * slice_len");
+      TimeNs offset = cursor % slice_len;
+      TimeNs piece = std::min(remaining, slice_len - offset);
+      segments.push_back(WrapSegment{item.id, chunk, offset, offset + piece});
+      cursor += piece;
+      remaining -= piece;
+    }
+  }
+  return segments;
+}
+
+std::vector<WrapSegment> WrapAroundFrom(std::span<const WrapItem> items, TimeNs slice_len,
+                                        std::span<const TimeNs> occupied) {
+  assert(slice_len > 0);
+  int pcpus = static_cast<int>(occupied.size());
+  std::vector<TimeNs> fill(occupied.begin(), occupied.end());
+  std::vector<WrapSegment> segments;
+  segments.reserve(items.size() + pcpus);
+
+  // First pass: wrap greedily, refusing straddles whose two pieces would
+  // overlap in wall-clock time (the item would run on two PCPUs at once).
+  struct Leftover {
+    int id;
+    TimeNs alloc;
+  };
+  std::vector<Leftover> leftovers;
+  int chunk = 0;
+  for (const WrapItem& item : items) {
+    TimeNs remaining = item.alloc;
+    while (remaining > 0) {
+      if (chunk >= pcpus) {
+        // Fragmentation from skipped straddles: defer to the second pass.
+        leftovers.push_back(Leftover{item.id, remaining});
+        break;
+      }
+      TimeNs free_here = slice_len - fill[chunk];
+      if (free_here <= 0) {
+        ++chunk;
+        continue;
+      }
+      TimeNs piece = std::min(remaining, free_here);
+      if (piece < remaining && chunk + 1 < pcpus) {
+        // Straddling: the second piece [occupied, occupied+rest) on the next
+        // chunk must end before this piece starts, or the item would overlap
+        // itself in wall-clock time. If unsafe, start the whole item on the
+        // next chunk instead (trading a little fragmentation for the
+        // no-parallel-self guarantee).
+        TimeNs rest = remaining - piece;
+        if (fill[chunk + 1] + rest > fill[chunk]) {
+          ++chunk;
+          continue;
+        }
+      }
+      segments.push_back(WrapSegment{item.id, chunk, fill[chunk], fill[chunk] + piece});
+      fill[chunk] += piece;
+      remaining -= piece;
+      if (fill[chunk] == slice_len) {
+        ++chunk;
+      }
+    }
+  }
+  // Second pass (rare: heavy affinity pinning at near-full utilization):
+  // place what is left into any remaining gaps, even if a piece overlaps a
+  // sibling piece in time — the dispatcher serializes such pieces at
+  // runtime, so this degrades (bounded) rather than drops the allocation.
+  for (const Leftover& left : leftovers) {
+    TimeNs remaining = left.alloc;
+    for (int k = 0; k < pcpus && remaining > 0; ++k) {
+      TimeNs free_here = slice_len - fill[k];
+      if (free_here <= 0) {
+        continue;
+      }
+      TimeNs piece = std::min(remaining, free_here);
+      segments.push_back(WrapSegment{left.id, k, fill[k], fill[k] + piece});
+      fill[k] += piece;
+      remaining -= piece;
+    }
+    assert(remaining == 0 && "allocations exceed the free space");
+  }
+  return segments;
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,53 @@
+// McNaughton wrap-around layout used by DP-WRAP (Levin et al., DP-FAIR).
+//
+// Given per-item allocations within a global slice of length L and m
+// processors, the allocations are laid end-to-end on a line of length m*L and
+// cut every L: chunk k becomes processor k's schedule. An item straddling a
+// cut is split across two processors; because each allocation is at most L,
+// its two pieces never overlap in wall-clock time, and at most m-1 items are
+// split — DP-WRAP's bound on migrations per global slice.
+
+#ifndef SRC_RTVIRT_WRAP_LAYOUT_H_
+#define SRC_RTVIRT_WRAP_LAYOUT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+struct WrapItem {
+  int id = 0;          // Caller-defined identity (e.g., VCPU index).
+  TimeNs alloc = 0;    // Allocation within the slice; 0 <= alloc <= slice_len.
+};
+
+struct WrapSegment {
+  int item_id = 0;
+  int pcpu = 0;
+  TimeNs start = 0;  // Offset within the slice, [0, slice_len).
+  TimeNs end = 0;    // Offset within the slice, (start, slice_len].
+};
+
+// Lays `items` out over `pcpus` chunks of `slice_len`. Items with zero
+// allocation produce no segments. Precondition: sum of allocations
+// <= pcpus * slice_len and each allocation <= slice_len.
+//
+// Guarantees (enforced by the property tests):
+//   * per item, the segment lengths sum to its allocation;
+//   * per processor, segments are disjoint and within [0, slice_len];
+//   * a split item's two segments do not overlap in wall-clock time;
+//   * at most pcpus - 1 items are split.
+std::vector<WrapSegment> WrapAround(std::span<const WrapItem> items, TimeNs slice_len,
+                                    int pcpus);
+
+// Like WrapAround, but chunk k is already occupied up to `occupied[k]`
+// (e.g., by affinity-pinned allocations that must not migrate): wrapped
+// items are laid out in the remaining space only. Precondition: sum of
+// allocations <= sum of free space.
+std::vector<WrapSegment> WrapAroundFrom(std::span<const WrapItem> items, TimeNs slice_len,
+                                        std::span<const TimeNs> occupied);
+
+}  // namespace rtvirt
+
+#endif  // SRC_RTVIRT_WRAP_LAYOUT_H_

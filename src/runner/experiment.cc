@@ -1,0 +1,76 @@
+#include "src/runner/experiment.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+const char* FrameworkName(Framework framework) {
+  switch (framework) {
+    case Framework::kRtvirt:
+      return "RTVirt";
+    case Framework::kRtXen:
+      return "RT-Xen";
+    case Framework::kCredit:
+      return "Credit";
+    case Framework::kVanillaEdf:
+      return "Vanilla-EDF";
+  }
+  return "?";
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  machine_ = std::make_unique<Machine>(&sim_, config_.machine);
+  switch (config_.framework) {
+    case Framework::kRtvirt: {
+      auto sched = std::make_unique<DpWrapScheduler>(config_.dpwrap);
+      dpwrap_ = sched.get();
+      machine_->SetScheduler(std::move(sched));
+      break;
+    }
+    case Framework::kRtXen:
+    case Framework::kVanillaEdf: {
+      auto sched = std::make_unique<ServerEdfScheduler>(config_.server_edf);
+      server_edf_ = sched.get();
+      machine_->SetScheduler(std::move(sched));
+      break;
+    }
+    case Framework::kCredit: {
+      auto sched = std::make_unique<CreditScheduler>(config_.credit);
+      credit_ = sched.get();
+      machine_->SetScheduler(std::move(sched));
+      break;
+    }
+  }
+}
+
+Experiment::~Experiment() = default;
+
+GuestOs* Experiment::AddGuest(const std::string& name, int vcpus, GuestConfig guest_config) {
+  Vm* vm = machine_->AddVm(name);
+  auto guest = std::make_unique<GuestOs>(vm, guest_config);
+  for (int i = 0; i < vcpus; ++i) {
+    guest->AddVcpu();
+  }
+  if (config_.framework == Framework::kRtvirt) {
+    guest->SetCrossLayer(std::make_unique<RtvirtGuestChannel>(machine_.get(), config_.channel));
+  }
+  guests_.push_back(std::move(guest));
+  return guests_.back().get();
+}
+
+void Experiment::SetVcpuServer(Vcpu* vcpu, ServerParams params) {
+  assert(server_edf_ != nullptr && "server interfaces need the RT-Xen/vanilla-EDF host");
+  server_edf_->SetServer(vcpu, params);
+}
+
+void Experiment::Run(TimeNs until) {
+  if (!started_) {
+    machine_->Start();
+    started_ = true;
+  }
+  sim_.RunUntil(until);
+}
+
+}  // namespace rtvirt

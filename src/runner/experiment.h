@@ -1,0 +1,85 @@
+// Experiment harness shared by the benches, examples and integration tests:
+// builds a machine with one of the four schedulers under comparison and
+// wires guests to the matching cross-layer policy.
+
+#ifndef SRC_RUNNER_EXPERIMENT_H_
+#define SRC_RUNNER_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/credit.h"
+#include "src/common/rng.h"
+#include "src/baselines/server_edf.h"
+#include "src/guest/guest_os.h"
+#include "src/hv/machine.h"
+#include "src/rtvirt/dpwrap.h"
+#include "src/rtvirt/guest_channel.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+
+enum class Framework {
+  kRtvirt,      // pEDF guest + DP-WRAP host + cross-layer channel.
+  kRtXen,       // pEDF guest + gEDF/deferrable-server host (CARTS interfaces).
+  kCredit,      // Xen default: proportional share with boost.
+  kVanillaEdf,  // Two-level EDF without cross-layer awareness (Figure 1).
+};
+
+const char* FrameworkName(Framework framework);
+
+struct ExperimentConfig {
+  Framework framework = Framework::kRtvirt;
+  MachineConfig machine;
+  DpWrapConfig dpwrap;
+  ServerEdfConfig server_edf;
+  CreditConfig credit;
+  GuestChannelOptions channel;
+  uint64_t seed = 42;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Machine& machine() { return *machine_; }
+  const ExperimentConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  // Creates a VM with `vcpus` VCPUs under a guest OS; RTVirt guests get the
+  // hypercall/shared-memory channel installed.
+  GuestOs* AddGuest(const std::string& name, int vcpus, GuestConfig guest_config = {});
+
+  // RT-Xen / vanilla-EDF: configure a VCPU's host-level server interface.
+  void SetVcpuServer(Vcpu* vcpu, ServerParams params);
+
+  // Scheduler access (null unless the matching framework is active).
+  DpWrapScheduler* dpwrap() const { return dpwrap_; }
+  ServerEdfScheduler* server_edf() const { return server_edf_; }
+  CreditScheduler* credit() const { return credit_; }
+
+  // Starts the machine (idempotent) and runs the simulation to `until`.
+  void Run(TimeNs until);
+
+  const std::vector<std::unique_ptr<GuestOs>>& guests() const { return guests_; }
+
+ private:
+  ExperimentConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  DpWrapScheduler* dpwrap_ = nullptr;
+  ServerEdfScheduler* server_edf_ = nullptr;
+  CreditScheduler* credit_ = nullptr;
+  std::vector<std::unique_ptr<GuestOs>> guests_;
+  Rng rng_;
+  bool started_ = false;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_RUNNER_EXPERIMENT_H_

@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+EventQueue::EventId EventQueue::Schedule(TimeNs when, Callback cb) {
+  auto node = std::make_shared<EventNode>();
+  node->callback = std::move(cb);
+  heap_.push(HeapEntry{when, next_seq_++, node});
+  ++live_count_;
+  return EventId(std::move(node));
+}
+
+void EventQueue::Cancel(EventId& id) {
+  if (id.node_ != nullptr && !id.node_->cancelled && id.node_->callback != nullptr) {
+    id.node_->cancelled = true;
+    assert(live_count_ > 0);
+    --live_count_;
+  }
+  id.node_.reset();
+}
+
+void EventQueue::SkimCancelled() const {
+  while (!heap_.empty() && heap_.top().node->cancelled) {
+    heap_.pop();
+  }
+}
+
+TimeNs EventQueue::NextTime() const {
+  SkimCancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  HeapEntry entry = heap_.top();
+  heap_.pop();
+  --live_count_;
+  Fired fired{entry.time, std::move(entry.node->callback)};
+  // Mark the node as fired so a late Cancel() on its id is a no-op.
+  entry.node->callback = nullptr;
+  return fired;
+}
+
+}  // namespace rtvirt

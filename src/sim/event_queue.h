@@ -1,0 +1,89 @@
+// Cancellable discrete-event queue.
+//
+// Events are callbacks ordered by (time, insertion sequence). Cancellation is
+// lazy: a cancelled entry stays in the heap and is skipped on pop, which keeps
+// both Schedule() and Cancel() at O(log n) / O(1) without tombstone sweeps.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Identifies a scheduled event for cancellation. Default-constructed ids
+  // are inert: cancelling them is a no-op.
+  class EventId {
+   public:
+    EventId() = default;
+    bool valid() const { return node_ != nullptr; }
+
+   private:
+    friend class EventQueue;
+    explicit EventId(std::shared_ptr<struct EventNode> node) : node_(std::move(node)) {}
+    std::shared_ptr<struct EventNode> node_;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  EventId Schedule(TimeNs when, Callback cb);
+
+  // Cancels the event if it has not fired yet; resets `id` to inert.
+  void Cancel(EventId& id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; kTimeNever when empty.
+  TimeNs NextTime() const;
+
+  // Removes and returns the earliest pending event. Precondition: !empty().
+  struct Fired {
+    TimeNs time;
+    Callback callback;
+  };
+  Fired PopNext();
+
+ private:
+  struct HeapEntry {
+    TimeNs time;
+    uint64_t seq;
+    std::shared_ptr<struct EventNode> node;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkimCancelled() const;
+
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+};
+
+struct EventNode {
+  EventQueue::Callback callback;
+  bool cancelled = false;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

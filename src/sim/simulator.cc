@@ -1,0 +1,36 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rtvirt {
+
+Simulator::EventId Simulator::At(TimeNs when, Callback cb) {
+  assert(when >= now_);
+  return queue_.Schedule(when, std::move(cb));
+}
+
+void Simulator::RunUntil(TimeNs end) {
+  while (!queue_.empty() && queue_.NextTime() <= end) {
+    EventQueue::Fired fired = queue_.PopNext();
+    assert(fired.time >= now_);
+    now_ = fired.time;
+    ++events_processed_;
+    fired.callback();
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+void Simulator::RunAll() {
+  while (!queue_.empty()) {
+    EventQueue::Fired fired = queue_.PopNext();
+    assert(fired.time >= now_);
+    now_ = fired.time;
+    ++events_processed_;
+    fired.callback();
+  }
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,50 @@
+// Discrete-event simulator clock and run loop.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/sim/event_queue.h"
+
+namespace rtvirt {
+
+class Simulator {
+ public:
+  using EventId = EventQueue::EventId;
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  // Schedules `cb` at absolute time `when` (must be >= Now()).
+  EventId At(TimeNs when, Callback cb);
+
+  // Schedules `cb` `delay` ns from now.
+  EventId After(TimeNs delay, Callback cb) { return At(now_ + delay, std::move(cb)); }
+
+  void Cancel(EventId& id) { queue_.Cancel(id); }
+
+  // Runs events until the queue is empty or the clock would pass `end`;
+  // leaves the clock at min(end, time of last event).
+  void RunUntil(TimeNs end);
+
+  // Runs until the queue is empty.
+  void RunAll();
+
+  uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  TimeNs now_ = 0;
+  EventQueue queue_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_SIM_SIMULATOR_H_

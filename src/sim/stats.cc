@@ -1,0 +1,159 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+namespace rtvirt {
+
+void Samples::Add(double v) {
+  values_.push_back(v);
+  sorted_ = values_.size() <= 1;
+}
+
+void Samples::Clear() {
+  values_.clear();
+  sorted_ = true;
+}
+
+void Samples::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::Min() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::Max() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::Sum() const { return std::accumulate(values_.begin(), values_.end(), 0.0); }
+
+double Samples::Mean() const {
+  return values_.empty() ? 0.0 : Sum() / static_cast<double>(values_.size());
+}
+
+double Samples::Stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (p <= 0.0) {
+    return values_.front();
+  }
+  if (p >= 100.0) {
+    return values_.back();
+  }
+  // Nearest-rank (ceil) percentile, the convention used for tail-latency SLOs:
+  // the 99.9th percentile is the smallest value v such that at least 99.9% of
+  // samples are <= v.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size()) - 1e-9));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return values_[rank - 1];
+}
+
+double Samples::FractionAtMost(double threshold) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(values_.begin(), values_.end(), threshold);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+std::vector<Samples::CdfPoint> Samples::Cdf(size_t points) const {
+  std::vector<CdfPoint> out;
+  if (values_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    size_t rank = static_cast<size_t>(
+        std::ceil(frac * static_cast<double>(values_.size()) - 1e-9));
+    if (rank == 0) {
+      rank = 1;
+    }
+    out.push_back(CdfPoint{values_[rank - 1], frac});
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((v - lo_) / width_);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;  // Floating point edge at hi_.
+  }
+  ++counts_[idx];
+}
+
+double Histogram::BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::BucketHigh(size_t i) const { return BucketLow(i) + width_; }
+
+std::string Histogram::Render(size_t max_width) const {
+  uint64_t peak = underflow_ > overflow_ ? underflow_ : overflow_;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  if (peak == 0) {
+    peak = 1;
+  }
+  std::ostringstream out;
+  auto bar = [&](uint64_t c) {
+    auto n = static_cast<size_t>(static_cast<double>(c) / static_cast<double>(peak) *
+                                 static_cast<double>(max_width));
+    return std::string(n, '#');
+  };
+  if (underflow_ > 0) {
+    out << "  < " << lo_ << ": " << underflow_ << " " << bar(underflow_) << "\n";
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out << "  [" << BucketLow(i) << ", " << BucketHigh(i) << "): " << counts_[i] << " "
+        << bar(counts_[i]) << "\n";
+  }
+  if (overflow_ > 0) {
+    out << "  >= " << hi_ << ": " << overflow_ << " " << bar(overflow_) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,58 @@
+#include "src/workloads/churn.h"
+
+#include <string>
+
+#include "src/workloads/vlc.h"
+
+namespace rtvirt {
+
+ChurnDriver::ChurnDriver(GuestOs* guest, ChurnConfig config, Rng rng, JobObserver* observer)
+    : guest_(guest), config_(config), rng_(rng), observer_(observer) {}
+
+void ChurnDriver::Start() {
+  Simulator* sim = guest_->vm()->machine()->sim();
+  for (int slot = 0; slot < guest_->num_vcpus(); ++slot) {
+    // Stagger chain starts so registrations don't all land at t=0.
+    sim->After(rng_.UniformTime(0, config_.max_gap), [this, slot] { NextEpisode(slot); });
+  }
+}
+
+void ChurnDriver::NextEpisode(int slot) {
+  Simulator* sim = guest_->vm()->machine()->sim();
+  TimeNs now = sim->Now();
+  if (now >= config_.experiment_len) {
+    return;
+  }
+  TimeNs duration = rng_.UniformTime(config_.min_episode, config_.max_episode);
+  TimeNs stop = std::min(now + duration, config_.experiment_len);
+  std::string name =
+      guest_->vm()->name() + ".churn" + std::to_string(slot) + "." + std::to_string(name_seq_++);
+
+  if (rng_.Bernoulli(config_.idle_prob)) {
+    // Idle interval with a 10% standing reservation and no job releases.
+    Task* idle = guest_->CreateTask(name + ".idle");
+    RtaParams params{config_.idle_slice, config_.idle_period, false};
+    if (guest_->SchedSetAttr(idle, params) == kGuestOk) {
+      sim->At(stop, [this, idle] { guest_->SchedUnregister(idle); });
+    }
+    idle_tasks_.push_back(idle);
+  } else {
+    int fps = kVlcProfiles[rng_.UniformInt(0, kVlcProfiles.size() - 1)].fps;
+    auto rta = std::make_unique<PeriodicRta>(guest_, name, VlcParams(fps));
+    rta->task()->set_observer(observer_);
+    rta->Start(now, stop);
+    ++rtas_started_;
+    // Admission happens synchronously for an immediate start.
+    if (rta->admission_result() != kGuestOk) {
+      ++rtas_rejected_;
+      --rtas_started_;
+    }
+    rtas_.push_back(std::move(rta));
+  }
+  sim->At(stop, [this, slot] {
+    Simulator* s = guest_->vm()->machine()->sim();
+    s->After(rng_.UniformTime(0, config_.max_gap), [this, slot] { NextEpisode(slot); });
+  });
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,46 @@
+// The paper's published RTA parameter groups: Table 1 (harmonic and
+// non-harmonic periodic groups) and Table 5 (scalability groups).
+
+#ifndef SRC_WORKLOADS_GROUPS_H_
+#define SRC_WORKLOADS_GROUPS_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "src/guest/task.h"
+
+namespace rtvirt {
+
+struct RtaGroup {
+  std::string_view name;
+  std::array<RtaParams, 4> rtas;
+};
+
+// Table 1: parameters in ms, one RTA per VM.
+inline const std::array<RtaGroup, 6> kTable1Groups = {{
+    {"H-Equiv", {{{Ms(13), Ms(20)}, {Ms(25), Ms(40)}, {Ms(49), Ms(80)}, {Ms(19), Ms(100)}}}},
+    {"H-Dec", {{{Ms(7), Ms(10)}, {Ms(13), Ms(20)}, {Ms(18), Ms(40)}, {Ms(13), Ms(100)}}}},
+    {"H-Inc", {{{Ms(5), Ms(10)}, {Ms(13), Ms(20)}, {Ms(31), Ms(40)}, {Ms(10), Ms(100)}}}},
+    {"NH-Equiv", {{{Ms(13), Ms(20)}, {Ms(26), Ms(40)}, {Ms(39), Ms(60)}, {Ms(13), Ms(100)}}}},
+    {"NH-Dec", {{{Ms(23), Ms(30)}, {Ms(13), Ms(20)}, {Ms(5), Ms(10)}, {Ms(10), Ms(100)}}}},
+    {"NH-Inc", {{{Ms(11), Ms(21)}, {Ms(26), Ms(43)}, {Ms(40), Ms(60)}, {Ms(13), Ms(100)}}}},
+}};
+
+// Table 5: groups of RTAs used in the scalability experiments (4.5).
+inline const std::array<RtaParams, 10> kTable5Groups = {{
+    {Ms(6), Ms(75)},
+    {Ms(7), Ms(92)},
+    {Ms(46), Ms(188)},
+    {Ms(12), Ms(102)},
+    {Ms(19), Ms(139)},
+    {Ms(13), Ms(124)},
+    {Ms(36), Ms(260)},
+    {Ms(21), Ms(159)},
+    {Ms(9), Ms(103)},
+    {Ms(62), Ms(208)},
+}};
+
+}  // namespace rtvirt
+
+#endif  // SRC_WORKLOADS_GROUPS_H_

@@ -1,0 +1,60 @@
+#include "src/workloads/memcached.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtvirt {
+
+MemcachedServer::MemcachedServer(GuestOs* guest, std::string name, MemcachedConfig config,
+                                 Rng rng)
+    : guest_(guest),
+      task_(guest->CreateTask(std::move(name))),
+      config_(config),
+      rng_(rng) {}
+
+void MemcachedServer::Start(TimeNs start, TimeNs stop) {
+  stop_ = stop;
+  Simulator* sim = guest_->vm()->machine()->sim();
+  if (start <= sim->Now()) {
+    Register();
+  } else {
+    sim->At(start, [this] { Register(); });
+  }
+}
+
+void MemcachedServer::Register() {
+  RtaParams params;
+  params.slice = config_.slice;
+  params.period = config_.slo;
+  params.sporadic = true;
+  admission_result_ = guest_->SchedSetAttr(task_, params);
+  if (admission_result_ != kGuestOk) {
+    return;
+  }
+  ClientSend();
+}
+
+TimeNs MemcachedServer::SampleService() {
+  double s = rng_.LogNormal(static_cast<double>(config_.service_median),
+                            config_.service_sigma);
+  return std::clamp(static_cast<TimeNs>(s), config_.service_min, config_.service_max);
+}
+
+void MemcachedServer::ClientSend() {
+  Simulator* sim = guest_->vm()->machine()->sim();
+  TimeNs now = sim->Now();
+  if (now >= stop_) {
+    return;
+  }
+  ++requests_sent_;
+  // Request arrives at Dom0 "now" (the client network delay is outside the
+  // measured NIC-to-NIC window); the job's deadline is the SLO.
+  guest_->ReleaseJob(task_, SampleService(), now + config_.slo);
+
+  double mean_gap = kNsPerSec / config_.qps;
+  double gap = rng_.NormalAtLeast(mean_gap, mean_gap * config_.interarrival_sigma_frac,
+                                  mean_gap * 0.05);
+  sim->After(static_cast<TimeNs>(gap), [this] { ClientSend(); });
+}
+
+}  // namespace rtvirt

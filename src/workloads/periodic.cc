@@ -1,0 +1,46 @@
+#include "src/workloads/periodic.h"
+
+#include <utility>
+
+namespace rtvirt {
+
+PeriodicRta::PeriodicRta(GuestOs* guest, std::string name, RtaParams params)
+    : guest_(guest), task_(guest->CreateTask(std::move(name))), params_(params) {
+  params_.sporadic = false;
+}
+
+void PeriodicRta::Start(TimeNs start, TimeNs stop) {
+  stop_ = stop;
+  Simulator* sim = guest_->vm()->machine()->sim();
+  if (start <= sim->Now()) {
+    Register();
+  } else {
+    sim->At(start, [this] { Register(); });
+  }
+}
+
+void PeriodicRta::Register() {
+  Simulator* sim = guest_->vm()->machine()->sim();
+  admission_result_ = guest_->SchedSetAttr(task_, params_);
+  if (admission_result_ != kGuestOk) {
+    return;
+  }
+  task_->set_next_release(sim->Now());
+  ReleaseOne();
+}
+
+void PeriodicRta::ReleaseOne() {
+  Simulator* sim = guest_->vm()->machine()->sim();
+  TimeNs now = sim->Now();
+  if (now >= stop_) {
+    guest_->SchedUnregister(task_);
+    return;
+  }
+  // Publish the next arrival before releasing so the guest's deadline
+  // publication sees it.
+  task_->set_next_release(now + params_.period);
+  guest_->ReleaseJob(task_, params_.slice, now + params_.period);
+  release_event_ = sim->After(params_.period, [this] { ReleaseOne(); });
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,43 @@
+// Periodic RTA driver, modelling rt-app (paper 4.2): a task that consumes
+// `slice` of CPU every `period`, with a deadline at the end of the period.
+
+#ifndef SRC_WORKLOADS_PERIODIC_H_
+#define SRC_WORKLOADS_PERIODIC_H_
+
+#include <string>
+
+#include "src/guest/guest_os.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+
+class PeriodicRta {
+ public:
+  // Creates the task in `guest`; it is registered and started by Start().
+  PeriodicRta(GuestOs* guest, std::string name, RtaParams params);
+
+  // Registers the RTA at `start` (sched_setattr) and releases jobs every
+  // period until `stop`, then unregisters. Returns immediately; everything
+  // is event-driven.
+  void Start(TimeNs start, TimeNs stop);
+
+  Task* task() const { return task_; }
+  // kGuestOk once registration succeeded; meaningful after `start`.
+  int admission_result() const { return admission_result_; }
+  const RtaParams& params() const { return params_; }
+
+ private:
+  void Register();
+  void ReleaseOne();
+
+  GuestOs* guest_;
+  Task* task_;
+  RtaParams params_;
+  TimeNs stop_ = 0;
+  int admission_result_ = kGuestErrInvalid;
+  Simulator::EventId release_event_;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_WORKLOADS_PERIODIC_H_

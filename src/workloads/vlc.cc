@@ -1,0 +1,27 @@
+#include "src/workloads/vlc.h"
+
+#include <cassert>
+
+namespace rtvirt {
+
+RtaParams VlcParams(int fps) {
+  for (const VlcProfile& p : kVlcProfiles) {
+    if (p.fps == fps) {
+      return p.params;
+    }
+  }
+  assert(false && "unsupported frame rate; Table 3 lists 24/30/48/60");
+  return {};
+}
+
+double VlcCpuNeed(int fps) {
+  for (const VlcProfile& p : kVlcProfiles) {
+    if (p.fps == fps) {
+      return p.cpu_need;
+    }
+  }
+  assert(false && "unsupported frame rate; Table 3 lists 24/30/48/60");
+  return 0;
+}
+
+}  // namespace rtvirt

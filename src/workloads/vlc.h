@@ -1,0 +1,36 @@
+// VLC video-streaming transcoding-thread model (paper Table 3): rt-app
+// parameters measured from VLC transcoding at each frame rate.
+
+#ifndef SRC_WORKLOADS_VLC_H_
+#define SRC_WORKLOADS_VLC_H_
+
+#include <array>
+
+#include "src/guest/task.h"
+
+namespace rtvirt {
+
+struct VlcProfile {
+  int fps = 0;
+  RtaParams params;
+  double cpu_need = 0;  // Table 3 "CPU Bandwidth Need" column (measured).
+};
+
+// The four profiles of Table 3: fps -> (slice, period); the period is the
+// floor of the frame interval, the slice the observed CPU use per frame.
+inline constexpr std::array<VlcProfile, 4> kVlcProfiles = {{
+    {24, {Ms(19), Ms(41), false}, 0.445},
+    {30, {Ms(18), Ms(33), false}, 0.541},
+    {48, {Ms(17), Ms(20), false}, 0.845},
+    {60, {Ms(15), Ms(16), false}, 0.936},
+}};
+
+// Returns the Table 3 parameters for a frame rate (must be one of 24/30/48/60).
+RtaParams VlcParams(int fps);
+
+// Returns Table 3's measured CPU bandwidth need for a frame rate.
+double VlcCpuNeed(int fps);
+
+}  // namespace rtvirt
+
+#endif  // SRC_WORKLOADS_VLC_H_

@@ -1,0 +1,81 @@
+#include "src/common/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+namespace {
+
+TEST(Bandwidth, FromSlicePeriodExact) {
+  Bandwidth half = Bandwidth::FromSlicePeriod(Ms(5), Ms(10));
+  EXPECT_EQ(half.ppb(), 500'000'000);
+  EXPECT_DOUBLE_EQ(half.ToDouble(), 0.5);
+}
+
+TEST(Bandwidth, FromSlicePeriodRoundsUp) {
+  // 1/3 is not representable; the reservation must not undershoot.
+  Bandwidth third = Bandwidth::FromSlicePeriod(1, 3);
+  EXPECT_GE(third.SliceOfCeil(3), 1);
+  EXPECT_EQ(third.ppb(), 333'333'334);
+}
+
+TEST(Bandwidth, SliceOfFloorNeverExceedsProRata) {
+  Bandwidth bw = Bandwidth::FromSlicePeriod(Ms(13), Ms(20));
+  TimeNs slice = bw.SliceOf(Us(250));
+  EXPECT_LE(slice, Us(250));
+  EXPECT_GE(slice, Us(250) * 13 / 20 - 1);
+}
+
+TEST(Bandwidth, Arithmetic) {
+  Bandwidth a = Bandwidth::FromSlicePeriod(1, 4);
+  Bandwidth b = Bandwidth::FromSlicePeriod(1, 2);
+  EXPECT_EQ((a + b).ppb(), 750'000'000);
+  EXPECT_EQ((b - a).ppb(), 250'000'000);
+  EXPECT_LT(a, b);
+  EXPECT_GT(Bandwidth::One(), b);
+  EXPECT_EQ(Bandwidth::Cpus(15).ppb(), 15 * Bandwidth::kUnit);
+}
+
+TEST(Bandwidth, SliceOfLargeDurationsNoOverflow) {
+  Bandwidth bw = Bandwidth::FromSlicePeriod(Ms(999), Ms(1000));
+  TimeNs day = Sec(86400);
+  EXPECT_EQ(bw.SliceOf(day), day / 1000 * 999);
+}
+
+TEST(Bandwidth, CeilVsFloorDifferByAtMostOne) {
+  Bandwidth bw = Bandwidth::FromPpb(123'456'789);
+  for (TimeNs d : {TimeNs{1}, Us(1), Us(250), Ms(7), Sec(3)}) {
+    EXPECT_LE(bw.SliceOfCeil(d) - bw.SliceOf(d), 1);
+  }
+}
+
+class BandwidthSlicePropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+// Splitting any duration among proportional shares never exceeds the whole.
+TEST_P(BandwidthSlicePropertyTest, ProportionalSplitConserves) {
+  TimeNs duration = GetParam();
+  Bandwidth parts[] = {
+      Bandwidth::FromSlicePeriod(13, 20),
+      Bandwidth::FromSlicePeriod(1, 7),
+      Bandwidth::FromSlicePeriod(3, 100),
+      Bandwidth::FromSlicePeriod(1, 9),
+  };
+  Bandwidth total;
+  TimeNs sum = 0;
+  for (Bandwidth p : parts) {
+    total += p;
+    sum += p.SliceOf(duration);
+  }
+  ASSERT_LE(total, Bandwidth::One());
+  EXPECT_LE(sum, duration);
+  // Floor rounding loses less than one ns per part.
+  EXPECT_GE(sum, total.SliceOf(duration) - 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, BandwidthSlicePropertyTest,
+                         ::testing::Values(1, 999, Us(250), Us(333), Ms(1), Ms(15), Sec(1),
+                                           Sec(100)));
+
+}  // namespace
+}  // namespace rtvirt

@@ -1,0 +1,128 @@
+// Cross-host placement and the live-migration cost model (paper section 6).
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/migration_model.h"
+#include "src/cluster/placement.h"
+
+namespace rtvirt {
+namespace {
+
+VmPlacementRequest Req(const std::string& name, double bw, double mem_gb = 4.0) {
+  VmPlacementRequest r;
+  r.name = name;
+  r.bandwidth = Bandwidth::FromDouble(bw);
+  r.migration.memory_gb = mem_gb;
+  return r;
+}
+
+TEST(MigrationModel, ConvergentPrecopy) {
+  MigrationCostModel m;
+  m.memory_gb = 4.0;
+  m.dirty_rate_gbps = 1.0;
+  m.link_gbps = 10.0;
+  auto est = m.Predict();
+  EXPECT_GT(est.rounds, 1);
+  EXPECT_GT(est.total_time, est.downtime);
+  // First round alone is 4 GB over 10 Gbps = 3.2 s.
+  EXPECT_GE(est.total_time, Sec(3));
+  EXPECT_LT(est.total_time, Sec(5));
+  // Downtime: residual below 0.05 GB over 10 Gbps = <= 40 ms.
+  EXPECT_LE(est.downtime, Ms(40));
+}
+
+TEST(MigrationModel, HigherDirtyRateCostsMore) {
+  MigrationCostModel slow;
+  slow.dirty_rate_gbps = 0.5;
+  MigrationCostModel fast;
+  fast.dirty_rate_gbps = 5.0;
+  EXPECT_LT(slow.Predict().total_time, fast.Predict().total_time);
+  EXPECT_LE(slow.Predict().rounds, fast.Predict().rounds);
+}
+
+TEST(MigrationModel, NonConvergentFallsBackToStopAndCopy) {
+  MigrationCostModel m;
+  m.memory_gb = 2.0;
+  m.dirty_rate_gbps = 12.0;
+  m.link_gbps = 10.0;
+  auto est = m.Predict();
+  EXPECT_EQ(est.rounds, 0);
+  EXPECT_EQ(est.total_time, est.downtime);
+  EXPECT_NEAR(ToSec(est.downtime), 2.0 * 8 / 10, 0.01);
+}
+
+TEST(MigrationModel, BiggerMemoryLongerDowntimeBound) {
+  MigrationCostModel small;
+  small.memory_gb = 1.0;
+  MigrationCostModel big;
+  big.memory_gb = 64.0;
+  EXPECT_LT(small.Predict().total_time, big.Predict().total_time);
+}
+
+TEST(ClusterPlacement, FirstFitConsolidates) {
+  ClusterPlacer placer({{0, 4}, {1, 4}}, PlacementPolicy::kFirstFit);
+  EXPECT_EQ(placer.Place(Req("a", 1.5)), 0);
+  EXPECT_EQ(placer.Place(Req("b", 1.5)), 0);
+  EXPECT_EQ(placer.Place(Req("c", 1.5)), 1);  // Host 0 is full at 4 CPUs - 3.
+  EXPECT_EQ(placer.HostLoad(0), Bandwidth::FromDouble(3.0));
+}
+
+TEST(ClusterPlacement, WorstFitBalances) {
+  ClusterPlacer placer({{0, 4}, {1, 4}}, PlacementPolicy::kWorstFit);
+  EXPECT_EQ(placer.Place(Req("a", 1.0)), 0);
+  EXPECT_EQ(placer.Place(Req("b", 1.0)), 1);  // Host 1 now has more free.
+  EXPECT_EQ(placer.Place(Req("c", 1.0)), 0);
+}
+
+TEST(ClusterPlacement, BestFitPacks) {
+  ClusterPlacer placer({{0, 2}, {1, 8}}, PlacementPolicy::kBestFit);
+  EXPECT_EQ(placer.Place(Req("a", 1.5)), 0);  // Tighter fit on the small host.
+  EXPECT_EQ(placer.Place(Req("b", 6.0)), 1);
+}
+
+TEST(ClusterPlacement, RejectsWhenFull) {
+  ClusterPlacer placer({{0, 2}}, PlacementPolicy::kFirstFit);
+  EXPECT_TRUE(placer.Place(Req("a", 1.9)).has_value());
+  EXPECT_FALSE(placer.Place(Req("b", 0.5)).has_value());
+}
+
+TEST(ClusterPlacement, RemoveFreesCapacity) {
+  ClusterPlacer placer({{0, 2}}, PlacementPolicy::kFirstFit);
+  ASSERT_TRUE(placer.Place(Req("a", 1.9)).has_value());
+  EXPECT_TRUE(placer.Remove("a"));
+  EXPECT_FALSE(placer.Remove("a"));
+  EXPECT_TRUE(placer.Place(Req("b", 1.9)).has_value());
+}
+
+TEST(ClusterPlacement, RebalanceMakesRoomViaCheapestMigration) {
+  ClusterPlacer placer({{0, 4}, {1, 4}}, PlacementPolicy::kFirstFit);
+  // Host 0: 3.0 used (small VM cheap to migrate, big VM expensive).
+  ASSERT_TRUE(placer.Place(Req("cheap", 1.0, /*mem_gb=*/1.0)).has_value());
+  ASSERT_TRUE(placer.Place(Req("expensive", 2.0, /*mem_gb=*/64.0)).has_value());
+  // Host 1: 3.0 used.
+  ASSERT_TRUE(placer.Place(Req("other", 3.0)).has_value());
+  // A 1.5-CPU VM fits nowhere directly (free: 1.0 and 1.0)...
+  VmPlacementRequest big = Req("newcomer", 1.5);
+  ASSERT_FALSE(placer.Place(big).has_value());
+  // ...but moving `cheap` (1.0) from host 0 to host 1 frees 2.0 on host 0.
+  auto plan = placer.PlanRebalance(big);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->target_host, 0);
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_EQ(plan->steps[0].vm, "cheap");  // Cheapest-first, not the 64 GB VM.
+  EXPECT_EQ(plan->steps[0].to, 1);
+  EXPECT_GT(plan->total_migration_time, 0);
+  // The plan is applied: newcomer lives on host 0 now.
+  EXPECT_EQ(placer.HostLoad(0), Bandwidth::FromDouble(3.5));
+  EXPECT_EQ(placer.HostLoad(1), Bandwidth::FromDouble(4.0));
+}
+
+TEST(ClusterPlacement, RebalanceRefusesWhenAggregateFull) {
+  ClusterPlacer placer({{0, 2}, {1, 2}}, PlacementPolicy::kFirstFit);
+  ASSERT_TRUE(placer.Place(Req("a", 1.8)).has_value());
+  ASSERT_TRUE(placer.Place(Req("b", 1.8)).has_value());
+  EXPECT_FALSE(placer.PlanRebalance(Req("c", 1.0)).has_value());
+}
+
+}  // namespace
+}  // namespace rtvirt

@@ -1,0 +1,243 @@
+// DP-WRAP host scheduler tests: hypercall admission control, global-slice
+// planning, migration bounds, best-effort backfill, and the DP-WRAP
+// optimality property (no deadline misses whenever total bandwidth fits).
+
+#include "src/rtvirt/dpwrap.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/metrics/deadline_monitor.h"
+#include "src/runner/experiment.h"
+#include "src/workloads/periodic.h"
+#include "tests/test_util.h"
+
+namespace rtvirt {
+namespace {
+
+ExperimentConfig PureConfig(int pcpus) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine = ZeroCostMachine(pcpus);
+  cfg.channel.budget_slack = 0;  // Pure DP-WRAP: exact reservations.
+  cfg.dpwrap.pick_cost = 0;      // ...and a zero-cost scheduler model.
+  cfg.dpwrap.replan_cost_base = 0;
+  cfg.dpwrap.replan_cost_per_log = 0;
+  return cfg;
+}
+
+TEST(DpWrapAdmission, AcceptsUpToCapacityThenRejects) {
+  Experiment exp(PureConfig(2));
+  GuestOs* g = exp.AddGuest("vm", 3);
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = g->vm()->vcpu(0);
+  args.bw_a = Bandwidth::One();
+  args.period_a = Ms(10);
+  EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallOk);
+  args.vcpu_a = g->vm()->vcpu(1);
+  EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallOk);
+  args.vcpu_a = g->vm()->vcpu(2);
+  args.bw_a = Bandwidth::FromDouble(0.01);
+  EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallNoBandwidth);
+  EXPECT_EQ(exp.dpwrap()->total_reserved(), Bandwidth::Cpus(2));
+}
+
+TEST(DpWrapAdmission, RejectsVcpuBandwidthAboveOneCpu) {
+  Experiment exp(PureConfig(2));
+  GuestOs* g = exp.AddGuest("vm", 1);
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = g->vm()->vcpu(0);
+  args.bw_a = Bandwidth::FromDouble(1.01);
+  args.period_a = Ms(10);
+  EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallInvalid);
+}
+
+TEST(DpWrapAdmission, DecBwFreesCapacity) {
+  Experiment exp(PureConfig(1));
+  GuestOs* g = exp.AddGuest("vm", 2);
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = g->vm()->vcpu(0);
+  args.bw_a = Bandwidth::FromDouble(0.9);
+  args.period_a = Ms(10);
+  ASSERT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallOk);
+  HypercallArgs dec = args;
+  dec.op = SchedOp::kDecBw;
+  dec.bw_a = Bandwidth::FromDouble(0.2);
+  ASSERT_EQ(exp.machine().Hypercall(dec.vcpu_a, dec), kHypercallOk);
+  HypercallArgs inc = args;
+  inc.vcpu_a = g->vm()->vcpu(1);
+  inc.bw_a = Bandwidth::FromDouble(0.7);
+  EXPECT_EQ(exp.machine().Hypercall(inc.vcpu_a, inc), kHypercallOk);
+}
+
+TEST(DpWrapAdmission, IncDecMovesAtomically) {
+  Experiment exp(PureConfig(1));
+  GuestOs* g = exp.AddGuest("vm", 2);
+  Vcpu* a = g->vm()->vcpu(0);
+  Vcpu* b = g->vm()->vcpu(1);
+  HypercallArgs inc;
+  inc.op = SchedOp::kIncBw;
+  inc.vcpu_a = a;
+  inc.bw_a = Bandwidth::FromDouble(0.8);
+  inc.period_a = Ms(10);
+  ASSERT_EQ(exp.machine().Hypercall(a, inc), kHypercallOk);
+  // Move 0.5 from a to b.
+  HypercallArgs move;
+  move.op = SchedOp::kIncDecBw;
+  move.vcpu_a = b;
+  move.bw_a = Bandwidth::FromDouble(0.5);
+  move.period_a = Ms(10);
+  move.vcpu_b = a;
+  move.bw_b = Bandwidth::FromDouble(0.3);
+  move.period_b = Ms(10);
+  EXPECT_EQ(exp.machine().Hypercall(b, move), kHypercallOk);
+  EXPECT_EQ(exp.dpwrap()->ReservedBw(a), Bandwidth::FromDouble(0.3));
+  EXPECT_EQ(exp.dpwrap()->ReservedBw(b), Bandwidth::FromDouble(0.5));
+  // A move that would overflow is rolled back entirely.
+  HypercallArgs bad = move;
+  bad.bw_a = Bandwidth::One();
+  bad.bw_b = Bandwidth::FromDouble(0.29);
+  EXPECT_EQ(exp.machine().Hypercall(b, bad), kHypercallNoBandwidth);
+  EXPECT_EQ(exp.dpwrap()->ReservedBw(a), Bandwidth::FromDouble(0.3));
+  EXPECT_EQ(exp.dpwrap()->ReservedBw(b), Bandwidth::FromDouble(0.5));
+}
+
+TEST(DpWrap, ReservedVcpuGetsItsBandwidth) {
+  Experiment exp(PureConfig(1));
+  GuestOs* g = exp.AddGuest("vm", 1);
+  // One RTA at 40% plus a background hog in the same guest: hog absorbs the
+  // rest, but the RTA must still meet every deadline.
+  g->CreateBackgroundTask("hog");
+  DeadlineMonitor mon;
+  PeriodicRta rta(g, "rta", RtaParams{Ms(4), Ms(10), false});
+  rta.task()->set_observer(&mon);
+  rta.Start(0, Sec(2));
+  exp.Run(Sec(2) + Ms(20));
+  ASSERT_EQ(rta.admission_result(), kGuestOk);
+  EXPECT_GE(mon.total_completed(), 199u);
+  EXPECT_EQ(mon.total_misses(), 0u);
+}
+
+TEST(DpWrap, BestEffortSharesResidualBandwidth) {
+  Experiment exp(PureConfig(2));
+  GuestOs* rt = exp.AddGuest("rt", 1);
+  GuestOs* be1 = exp.AddGuest("be1", 1);
+  GuestOs* be2 = exp.AddGuest("be2", 1);
+  be1->CreateBackgroundTask("hog1");
+  be2->CreateBackgroundTask("hog2");
+  DeadlineMonitor mon;
+  PeriodicRta rta(rt, "rta", RtaParams{Ms(5), Ms(10), false});
+  rta.task()->set_observer(&mon);
+  rta.Start(0, Sec(1));
+  exp.Run(Sec(1));
+  EXPECT_EQ(mon.total_misses(), 0u);
+  // Residual ~1.5 CPUs split between the two hogs.
+  TimeNs t1 = be1->vm()->TotalRuntime();
+  TimeNs t2 = be2->vm()->TotalRuntime();
+  EXPECT_NEAR(static_cast<double>(t1 + t2), static_cast<double>(Ms(1500)),
+              static_cast<double>(Ms(100)));
+  EXPECT_NEAR(static_cast<double>(t1), static_cast<double>(t2), static_cast<double>(Ms(150)));
+}
+
+TEST(DpWrap, MigrationsBoundedByMMinusOnePerSlice) {
+  ExperimentConfig cfg = PureConfig(3);
+  Experiment exp(cfg);
+  // 5 RTAs of 0.55 each on 5 single-VCPU VMs: total 2.75 on 3 PCPUs, forces
+  // wrapped (split) VCPUs every slice.
+  std::vector<std::unique_ptr<PeriodicRta>> rtas;
+  DeadlineMonitor mon;
+  for (int i = 0; i < 5; ++i) {
+    GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+    auto rta = std::make_unique<PeriodicRta>(g, "rta" + std::to_string(i),
+                                             RtaParams{Ms(11), Ms(20), false});
+    rta->task()->set_observer(&mon);
+    rta->Start(0, Sec(1));
+    rtas.push_back(std::move(rta));
+  }
+  exp.Run(Sec(1));
+  EXPECT_EQ(mon.total_misses(), 0u);
+  uint64_t replans = exp.dpwrap()->replans();
+  uint64_t migrations = exp.machine().overhead().migrations;
+  ASSERT_GT(replans, 0u);
+  // DP-WRAP bound: at most m-1 = 2 VCPUs split per slice, each of which
+  // migrates to its second piece and back at the next slice start.
+  EXPECT_LE(migrations, replans * 2 * 2);
+}
+
+TEST(DpWrap, SporadicWakeReplansPromptly) {
+  ExperimentConfig cfg = PureConfig(1);
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  GuestOs* hog = exp.AddGuest("hog", 1);
+  hog->CreateBackgroundTask("bg");
+  Task* s = g->CreateTask("sporadic");
+  DeadlineMonitor mon;
+  mon.Watch(s);
+  ASSERT_EQ(g->SchedSetAttr(s, RtaParams{Ms(2), Ms(10), true}), kGuestOk);
+  exp.Run(Ms(50));
+  // Request arrives mid-slice, long after the VCPU's segments passed.
+  g->ReleaseJob(s, Ms(2), exp.sim().Now() + Ms(10));
+  exp.Run(Ms(100));
+  ASSERT_EQ(mon.total_completed(), 1u);
+  EXPECT_EQ(mon.total_misses(), 0u);
+  // With replan-on-wake the response is far below the period.
+  EXPECT_LT(mon.response_times_us().Max(), 5000.0);
+}
+
+// DP-WRAP optimality: random task sets with total utilization <= m always
+// meet all deadlines under zero-cost scheduling.
+class DpWrapOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpWrapOptimalityTest, NoMissesAtFullUtilization) {
+  Rng rng(GetParam());
+  int pcpus = static_cast<int>(rng.UniformInt(2, 4));
+  ExperimentConfig cfg = PureConfig(pcpus);
+  // Discrete time needs an epsilon over the fluid schedule: 1 us of slack
+  // per VCPU period (the paper's prototype uses 500 us for real overheads).
+  cfg.channel.budget_slack = Us(1);
+  cfg.seed = GetParam();
+  Experiment exp(cfg);
+
+  DeadlineMonitor mon;
+  std::vector<std::unique_ptr<PeriodicRta>> rtas;
+  double budget = pcpus;  // Target utilization: fill to ~99%.
+  int i = 0;
+  while (budget > 0.05 && i < 40) {
+    double u = std::min(budget, rng.Uniform(0.1, 0.9));
+    TimeNs period = Ms(rng.UniformInt(4, 50));
+    auto slice = static_cast<TimeNs>(static_cast<double>(period) * u);
+    if (slice <= 0) {
+      break;
+    }
+    GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+    auto rta = std::make_unique<PeriodicRta>(g, "rta" + std::to_string(i),
+                                             RtaParams{slice, period, false});
+    rta->task()->set_observer(&mon);
+    rta->Start(0, Sec(1));
+    rtas.push_back(std::move(rta));
+    budget -= RtaParams{slice, period, false}.bandwidth().ToDouble();
+    ++i;
+  }
+  exp.Run(Sec(1) + Ms(100));
+  int admitted = 0;
+  for (const auto& rta : rtas) {
+    if (rta->admission_result() == kGuestOk) {
+      ++admitted;
+    }
+  }
+  ASSERT_GT(admitted, 0);
+  EXPECT_GT(mon.total_completed(), 100u);
+  EXPECT_EQ(mon.total_misses(), 0u)
+      << "DP-WRAP must meet every deadline when utilization fits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpWrapOptimalityTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 111));
+
+}  // namespace
+}  // namespace rtvirt

@@ -1,0 +1,284 @@
+// Guest OS model tests: pEDF admission (first-fit, reshuffle, hotplug), EDF
+// dispatch order, job accounting and cross-layer deadline publication —
+// isolated from host policy by a dedicated-PCPU host scheduler.
+
+#include "src/guest/guest_os.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/metrics/deadline_monitor.h"
+#include "tests/test_util.h"
+
+namespace rtvirt {
+namespace {
+
+struct GuestRig {
+  explicit GuestRig(int vcpus, GuestConfig gcfg = {}, int pcpus = 8) {
+    machine = std::make_unique<Machine>(&sim, ZeroCostMachine(pcpus));
+    machine->SetScheduler(std::make_unique<DedicatedScheduler>());
+    vm = machine->AddVm("g");
+    guest = std::make_unique<GuestOs>(vm, gcfg);
+    for (int i = 0; i < vcpus; ++i) {
+      guest->AddVcpu();
+    }
+    machine->Start();
+  }
+
+  Simulator sim;
+  std::unique_ptr<Machine> machine;
+  Vm* vm = nullptr;
+  std::unique_ptr<GuestOs> guest;
+};
+
+RtaParams P(TimeNs slice, TimeNs period, bool sporadic = false) {
+  return RtaParams{slice, period, sporadic};
+}
+
+TEST(GuestAdmission, RejectsInvalidParams) {
+  GuestRig rig(1);
+  Task* t = rig.guest->CreateTask("t");
+  EXPECT_EQ(rig.guest->SchedSetAttr(t, P(0, Ms(10))), kGuestErrInvalid);
+  EXPECT_EQ(rig.guest->SchedSetAttr(t, P(Ms(11), Ms(10))), kGuestErrInvalid);
+  EXPECT_EQ(rig.guest->SchedSetAttr(t, P(Ms(1), 0)), kGuestErrInvalid);
+}
+
+TEST(GuestAdmission, FirstFitPinsToFirstVcpuWithRoom) {
+  GuestRig rig(2);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  Task* c = rig.guest->CreateTask("c");
+  EXPECT_EQ(rig.guest->SchedSetAttr(a, P(Ms(6), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->SchedSetAttr(b, P(Ms(3), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->SchedSetAttr(c, P(Ms(5), Ms(10))), kGuestOk);
+  EXPECT_EQ(a->vcpu_index(), 0);
+  EXPECT_EQ(b->vcpu_index(), 0);  // 0.6 + 0.3 fits on vcpu0.
+  EXPECT_EQ(c->vcpu_index(), 1);  // 0.5 does not fit on vcpu0.
+  EXPECT_EQ(rig.guest->VcpuReservedBw(0), P(Ms(9), Ms(10)).bandwidth());
+}
+
+TEST(GuestAdmission, RejectsWhenNoVcpuFits) {
+  GuestRig rig(1);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  EXPECT_EQ(rig.guest->SchedSetAttr(a, P(Ms(7), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->SchedSetAttr(b, P(Ms(5), Ms(10))), kGuestErrBusy);
+  EXPECT_FALSE(b->registered());
+}
+
+TEST(GuestAdmission, ReshuffleDefragments) {
+  GuestRig rig(2);
+  // vcpu0: 0.5, vcpu1: 0.5 -> a 0.6 task fits only after consolidating the
+  // two 0.5 tasks onto one VCPU.
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  Task* c = rig.guest->CreateTask("c");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(5), Ms(10))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(51), Ms(100))), kGuestOk);
+  ASSERT_EQ(a->vcpu_index(), 0);
+  ASSERT_EQ(b->vcpu_index(), 1);
+  // 0.5 + 0.51 > 1 so they stay apart; 0.4 task triggers no reshuffle...
+  EXPECT_EQ(rig.guest->SchedSetAttr(c, P(Ms(6), Ms(10))), kGuestErrBusy);
+  // ...but a 0.49 task fits directly.
+  EXPECT_EQ(rig.guest->SchedSetAttr(c, P(Ms(49), Ms(100))), kGuestOk);
+}
+
+TEST(GuestAdmission, ReshuffleMovesTasksWhenPackingExists) {
+  GuestRig rig(2);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  Task* c = rig.guest->CreateTask("c");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(3), Ms(10))), kGuestOk);   // 0.3 -> vcpu0
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(65), Ms(100))), kGuestOk);  // 0.65 -> vcpu0
+  // 0.9 task: free space is 0.05 on vcpu0 and 1.0 on vcpu1 -> fits directly
+  // on vcpu1. Then a 0.4 task: vcpu0 has 0.05, vcpu1 has 0.1 -> only a
+  // reshuffle (0.9+0.05? no; FFD: 0.9,0.65,0.4,0.3 -> [0.9],[0.65+0.3]=0.95,
+  // 0.4 does not fit) -> rejected.
+  ASSERT_EQ(rig.guest->SchedSetAttr(c, P(Ms(9), Ms(10))), kGuestOk);
+  EXPECT_EQ(c->vcpu_index(), 1);
+  Task* d = rig.guest->CreateTask("d");
+  EXPECT_EQ(rig.guest->SchedSetAttr(d, P(Ms(4), Ms(10))), kGuestErrBusy);
+  // A 0.1 task packs after reshuffle: FFD 0.9,0.65,0.3,0.1 ->
+  // [0.9,0.1][0.65,0.3].
+  EXPECT_EQ(rig.guest->SchedSetAttr(d, P(Ms(1), Ms(10))), kGuestOk);
+  Bandwidth total = rig.guest->VcpuReservedBw(0) + rig.guest->VcpuReservedBw(1);
+  Bandwidth expected = P(Ms(3), Ms(10)).bandwidth() + P(Ms(65), Ms(100)).bandwidth() +
+                       P(Ms(9), Ms(10)).bandwidth() + P(Ms(1), Ms(10)).bandwidth();
+  EXPECT_EQ(total, expected);
+}
+
+TEST(GuestAdmission, HotplugAddsVcpuWhenAllowed) {
+  GuestConfig gcfg;
+  gcfg.allow_hotplug = true;
+  gcfg.max_vcpus = 4;
+  GuestRig rig(1, gcfg);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(7), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->num_vcpus(), 1);
+  EXPECT_EQ(rig.guest->SchedSetAttr(b, P(Ms(5), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->num_vcpus(), 2);
+  EXPECT_EQ(b->vcpu_index(), 1);
+}
+
+TEST(GuestAdmission, VcpuCapacityLimitsAdmission) {
+  GuestRig rig(1);
+  rig.guest->SetVcpuCapacity(0, Bandwidth::FromDouble(0.5));
+  Task* a = rig.guest->CreateTask("a");
+  EXPECT_EQ(rig.guest->SchedSetAttr(a, P(Ms(6), Ms(10))), kGuestErrBusy);
+  EXPECT_EQ(rig.guest->SchedSetAttr(a, P(Ms(4), Ms(10))), kGuestOk);
+}
+
+TEST(GuestDispatch, EdfOrderWithinVcpu) {
+  GuestRig rig(1);
+  DeadlineMonitor mon;
+  Task* lo = rig.guest->CreateTask("long-period");
+  Task* hi = rig.guest->CreateTask("short-period");
+  ASSERT_EQ(rig.guest->SchedSetAttr(lo, P(Ms(2), Ms(20))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(hi, P(Ms(2), Ms(10))), kGuestOk);
+  mon.Watch(lo);
+  mon.Watch(hi);
+  // Release both at t=0; EDF must run `hi` (deadline 10ms) before `lo`.
+  rig.guest->ReleaseJob(lo, Ms(2), Ms(20));
+  rig.guest->ReleaseJob(hi, Ms(2), Ms(10));
+  rig.sim.RunUntil(Ms(1));
+  EXPECT_EQ(hi->QueuedJobs(), 1u);  // Still running its job.
+  rig.sim.RunUntil(Ms(5));
+  EXPECT_EQ(mon.total_completed(), 2u);
+  EXPECT_EQ(mon.total_misses(), 0u);
+  // hi completed at 2ms, lo at 4ms.
+  EXPECT_DOUBLE_EQ(mon.response_times_us().Min(), 2000.0);
+  EXPECT_DOUBLE_EQ(mon.response_times_us().Max(), 4000.0);
+}
+
+TEST(GuestDispatch, PreemptionByEarlierDeadline) {
+  GuestRig rig(1);
+  DeadlineMonitor mon;
+  Task* lo = rig.guest->CreateTask("lo");
+  Task* hi = rig.guest->CreateTask("hi");
+  ASSERT_EQ(rig.guest->SchedSetAttr(lo, P(Ms(4), Ms(50))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(hi, P(Ms(1), Ms(5))), kGuestOk);
+  mon.Watch(lo);
+  mon.Watch(hi);
+  rig.guest->ReleaseJob(lo, Ms(4), Ms(50));
+  rig.sim.At(Ms(1), [&] { rig.guest->ReleaseJob(hi, Ms(1), rig.sim.Now() + Ms(5)); });
+  rig.sim.RunUntil(Ms(10));
+  ASSERT_EQ(mon.total_completed(), 2u);
+  // hi preempts at 1ms, finishes at 2ms; lo resumes and finishes at 5ms.
+  EXPECT_DOUBLE_EQ(mon.per_task().at("hi").MissRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.response_times_us().Max(), 5000.0);
+}
+
+TEST(GuestDispatch, BackgroundRunsOnlyWhenNoRtaPending) {
+  GuestRig rig(1);
+  Task* bg = rig.guest->CreateBackgroundTask("bg");
+  (void)bg;
+  Task* rta = rig.guest->CreateTask("rta");
+  ASSERT_EQ(rig.guest->SchedSetAttr(rta, P(Ms(5), Ms(10))), kGuestOk);
+  rig.sim.RunUntil(Ms(1));
+  // Background hog keeps the VCPU busy.
+  EXPECT_FALSE(rig.vm->vcpu(0)->blocked());
+  TimeNs before = rig.vm->vcpu(0)->total_runtime();
+  EXPECT_GT(before, 0);
+  DeadlineMonitor mon;
+  mon.Watch(rta);
+  rig.guest->ReleaseJob(rta, Ms(5), rig.sim.Now() + Ms(10));
+  rig.sim.RunUntil(Ms(7));
+  EXPECT_EQ(mon.total_completed(), 1u);
+  EXPECT_EQ(mon.total_misses(), 0u);
+}
+
+TEST(GuestDispatch, VcpuBlocksWhenIdleAndWakesOnRelease) {
+  GuestRig rig(1);
+  Task* rta = rig.guest->CreateTask("rta");
+  ASSERT_EQ(rig.guest->SchedSetAttr(rta, P(Ms(1), Ms(10))), kGuestOk);
+  rig.sim.RunUntil(Ms(1));
+  EXPECT_TRUE(rig.vm->vcpu(0)->blocked());
+  rig.guest->ReleaseJob(rta, Ms(1), rig.sim.Now() + Ms(10));
+  rig.sim.RunUntil(Ms(3));
+  EXPECT_TRUE(rig.vm->vcpu(0)->blocked());  // Done, idle again.
+  EXPECT_EQ(rta->jobs_completed(), 1u);
+}
+
+TEST(GuestCrossLayer, PublishesEarliestPendingDeadline) {
+  GuestRig rig(1);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(1), Ms(40))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(1), Ms(30))), kGuestOk);
+  rig.guest->ReleaseJob(a, Ms(1), Ms(40));
+  rig.guest->ReleaseJob(b, Ms(1), Ms(30));
+  EXPECT_EQ(rig.guest->NextEarliestDeadline(0), Ms(30));
+}
+
+TEST(GuestCrossLayer, SporadicWorstCaseDeadline) {
+  GuestRig rig(1);
+  Task* s = rig.guest->CreateTask("sporadic");
+  ASSERT_EQ(rig.guest->SchedSetAttr(s, P(Us(58), Us(500), true)), kGuestOk);
+  rig.sim.RunUntil(Ms(2));
+  // Idle sporadic: worst case now + period.
+  EXPECT_EQ(rig.guest->NextEarliestDeadline(0), rig.sim.Now() + Us(500));
+}
+
+TEST(GuestCrossLayer, IdlePeriodicPublishesNextRelease) {
+  GuestRig rig(1);
+  Task* p = rig.guest->CreateTask("periodic");
+  ASSERT_EQ(rig.guest->SchedSetAttr(p, P(Ms(1), Ms(10))), kGuestOk);
+  p->set_next_release(Ms(25));
+  EXPECT_EQ(rig.guest->NextEarliestDeadline(0), Ms(25));
+}
+
+TEST(GuestRegistration, UnregisterFreesBandwidthAndDropsJobs) {
+  GuestRig rig(1);
+  Task* a = rig.guest->CreateTask("a");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(9), Ms(10))), kGuestOk);
+  rig.guest->ReleaseJob(a, Ms(9), Ms(10));
+  rig.sim.RunUntil(Ms(1));
+  EXPECT_EQ(rig.guest->SchedUnregister(a), kGuestOk);
+  EXPECT_EQ(rig.guest->VcpuReservedBw(0), Bandwidth::Zero());
+  EXPECT_FALSE(a->HasPendingJob());
+  // Freed bandwidth is reusable.
+  Task* b = rig.guest->CreateTask("b");
+  EXPECT_EQ(rig.guest->SchedSetAttr(b, P(Ms(9), Ms(10))), kGuestOk);
+}
+
+TEST(GuestRegistration, ParamChangeInPlace) {
+  GuestRig rig(1);
+  Task* a = rig.guest->CreateTask("a");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(2), Ms(10))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(8), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->VcpuReservedBw(0), P(Ms(8), Ms(10)).bandwidth());
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(1), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->VcpuReservedBw(0), P(Ms(1), Ms(10)).bandwidth());
+}
+
+TEST(GuestRegistration, ParamChangeMovesVcpuWhenNeeded) {
+  GuestRig rig(2);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(6), Ms(10))), kGuestOk);
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(3), Ms(10))), kGuestOk);
+  ASSERT_EQ(b->vcpu_index(), 0);
+  // b grows to 0.7: does not fit beside a (0.6); must move to vcpu1.
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(7), Ms(10))), kGuestOk);
+  EXPECT_EQ(b->vcpu_index(), 1);
+  EXPECT_EQ(rig.guest->VcpuReservedBw(0), P(Ms(6), Ms(10)).bandwidth());
+  EXPECT_EQ(rig.guest->VcpuReservedBw(1), P(Ms(7), Ms(10)).bandwidth());
+}
+
+TEST(GuestRegistration, MinPeriodTracksPinnedTasks) {
+  GuestRig rig(1);
+  Task* a = rig.guest->CreateTask("a");
+  Task* b = rig.guest->CreateTask("b");
+  ASSERT_EQ(rig.guest->SchedSetAttr(a, P(Ms(1), Ms(40))), kGuestOk);
+  EXPECT_EQ(rig.guest->VcpuMinPeriod(0), Ms(40));
+  ASSERT_EQ(rig.guest->SchedSetAttr(b, P(Ms(1), Ms(10))), kGuestOk);
+  EXPECT_EQ(rig.guest->VcpuMinPeriod(0), Ms(10));
+  rig.guest->SchedUnregister(b);
+  EXPECT_EQ(rig.guest->VcpuMinPeriod(0), Ms(40));
+}
+
+}  // namespace
+}  // namespace rtvirt

@@ -1,0 +1,233 @@
+// Hypervisor machine-model tests with a minimal FIFO scheduler and client,
+// exercising dispatch, wake/block, overhead charging and migration counting
+// in isolation from the guest OS model.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "src/hv/machine.h"
+
+namespace rtvirt {
+namespace {
+
+// Round-robin over runnable VCPUs with a fixed quantum.
+class FifoScheduler : public HostScheduler {
+ public:
+  explicit FifoScheduler(TimeNs quantum) : quantum_(quantum) {}
+
+  std::string_view name() const override { return "fifo-test"; }
+  void VcpuInserted(Vcpu* v) override { vcpus_.push_back(v); }
+  void VcpuRemoved(Vcpu* v) override {
+    vcpus_.erase(std::remove(vcpus_.begin(), vcpus_.end(), v), vcpus_.end());
+  }
+  void VcpuWake(Vcpu* v) override {
+    (void)v;
+    for (int i = 0; i < machine_->num_pcpus(); ++i) {
+      if (machine_->pcpu(i)->idle()) {
+        machine_->pcpu(i)->RequestReschedule();
+        return;
+      }
+    }
+  }
+  void VcpuBlock(Vcpu* v) override { (void)v; }
+  ScheduleDecision PickNext(Pcpu* pcpu) override {
+    TimeNs now = machine_->sim()->Now();
+    size_t n = vcpus_.size();
+    for (size_t i = 0; i < n; ++i) {
+      Vcpu* v = vcpus_[(cursor_ + i) % n];
+      bool continuing = v->running() && v->pcpu() == pcpu;
+      if (v->runnable() || continuing) {
+        cursor_ = (cursor_ + i + 1) % n;
+        return {v, now + quantum_};
+      }
+    }
+    return {nullptr, kTimeNever};
+  }
+  void AccountRun(Vcpu* v, TimeNs ran) override {
+    (void)v;
+    accounted_ += ran;
+  }
+  TimeNs ScheduleCost(const Pcpu*) const override { return sched_cost_; }
+
+  TimeNs accounted() const { return accounted_; }
+  void set_sched_cost(TimeNs c) { sched_cost_ = c; }
+
+ private:
+  TimeNs quantum_;
+  std::vector<Vcpu*> vcpus_;
+  size_t cursor_ = 0;
+  TimeNs accounted_ = 0;
+  TimeNs sched_cost_ = 0;
+};
+
+// Client that runs forever once woken and records grant/revoke events.
+class HogClient : public VcpuClient {
+ public:
+  void OnVcpuGranted(Vcpu*) override { ++grants_; }
+  void OnVcpuRevoked(Vcpu*) override { ++revokes_; }
+  int grants() const { return grants_; }
+  int revokes() const { return revokes_; }
+
+ private:
+  int grants_ = 0;
+  int revokes_ = 0;
+};
+
+MachineConfig ZeroCostConfig(int pcpus) {
+  MachineConfig cfg;
+  cfg.num_pcpus = pcpus;
+  cfg.context_switch_cost = 0;
+  cfg.migration_cost = 0;
+  cfg.hypercall_cost = 0;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(int pcpus, int vcpus, TimeNs quantum = Ms(1),
+               MachineConfig cfg_in = MachineConfig{}) {
+    cfg_in.num_pcpus = pcpus;
+    machine = std::make_unique<Machine>(&sim, cfg_in);
+    auto sched_owned = std::make_unique<FifoScheduler>(quantum);
+    sched = sched_owned.get();
+    machine->SetScheduler(std::move(sched_owned));
+    vm = machine->AddVm("vm");
+    clients.resize(vcpus);
+    for (int i = 0; i < vcpus; ++i) {
+      Vcpu* v = vm->AddVcpu();
+      v->set_client(&clients[i]);
+    }
+    machine->Start();
+  }
+
+  Simulator sim;
+  std::unique_ptr<Machine> machine;
+  FifoScheduler* sched = nullptr;
+  Vm* vm = nullptr;
+  std::vector<HogClient> clients;
+};
+
+TEST(Machine, IdleUntilWake) {
+  Rig rig(1, 1, Ms(1), ZeroCostConfig(1));
+  rig.sim.RunUntil(Ms(5));
+  EXPECT_EQ(rig.clients[0].grants(), 0);
+  EXPECT_TRUE(rig.machine->pcpu(0)->idle());
+
+  rig.vm->vcpu(0)->Wake();
+  rig.sim.RunUntil(Ms(6));
+  EXPECT_EQ(rig.clients[0].grants(), 1);
+  EXPECT_EQ(rig.machine->pcpu(0)->current(), rig.vm->vcpu(0));
+}
+
+TEST(Machine, RuntimeAccountedWhileRunning) {
+  Rig rig(1, 1, Ms(1), ZeroCostConfig(1));
+  rig.vm->vcpu(0)->Wake();
+  rig.sim.RunUntil(Ms(10));
+  // Runs continuously once woken (single runnable vcpu).
+  EXPECT_NEAR(static_cast<double>(rig.vm->vcpu(0)->total_runtime()),
+              static_cast<double>(Ms(10)), static_cast<double>(Us(1)));
+  EXPECT_EQ(rig.sched->accounted(), rig.vm->vcpu(0)->total_runtime());
+}
+
+TEST(Machine, BlockStopsExecutionAndRevokes) {
+  Rig rig(1, 1, Ms(1), ZeroCostConfig(1));
+  rig.vm->vcpu(0)->Wake();
+  rig.sim.At(Ms(3), [&] { rig.vm->vcpu(0)->Block(); });
+  rig.sim.RunUntil(Ms(10));
+  EXPECT_EQ(rig.clients[0].revokes(), rig.clients[0].grants());
+  EXPECT_EQ(rig.vm->vcpu(0)->total_runtime(), Ms(3));
+  EXPECT_TRUE(rig.machine->pcpu(0)->idle());
+  EXPECT_TRUE(rig.vm->vcpu(0)->blocked());
+}
+
+TEST(Machine, TwoVcpusShareOnePcpuRoundRobin) {
+  Rig rig(1, 2, Ms(1), ZeroCostConfig(1));
+  rig.vm->vcpu(0)->Wake();
+  rig.vm->vcpu(1)->Wake();
+  rig.sim.RunUntil(Ms(10));
+  EXPECT_NEAR(static_cast<double>(rig.vm->vcpu(0)->total_runtime()),
+              static_cast<double>(Ms(5)), static_cast<double>(Ms(1)));
+  EXPECT_NEAR(static_cast<double>(rig.vm->vcpu(1)->total_runtime()),
+              static_cast<double>(Ms(5)), static_cast<double>(Ms(1)));
+}
+
+TEST(Machine, ContextSwitchCostsDelayExecution) {
+  MachineConfig cfg;
+  cfg.context_switch_cost = Us(10);
+  cfg.migration_cost = 0;
+  Rig rig(1, 2, Ms(1), cfg);
+  rig.vm->vcpu(0)->Wake();
+  rig.vm->vcpu(1)->Wake();
+  rig.sim.RunUntil(Ms(10));
+  const OverheadStats& oh = rig.machine->overhead();
+  EXPECT_GT(oh.context_switches, 5u);
+  EXPECT_EQ(oh.context_switch_time, oh.context_switches * Us(10));
+  // Useful runtime + overhead =~ wall time.
+  TimeNs useful = rig.vm->vcpu(0)->total_runtime() + rig.vm->vcpu(1)->total_runtime();
+  EXPECT_NEAR(static_cast<double>(useful + oh.TotalTime()), static_cast<double>(Ms(10)),
+              static_cast<double>(Us(20)));
+}
+
+TEST(Machine, MigrationDetectedWhenVcpuMovesPcpu) {
+  Rig rig(2, 3, Ms(1), ZeroCostConfig(2));
+  for (int i = 0; i < 3; ++i) {
+    rig.vm->vcpu(i)->Wake();
+  }
+  rig.sim.RunUntil(Ms(30));
+  uint64_t migrations = 0;
+  for (int i = 0; i < 3; ++i) {
+    migrations += rig.vm->vcpu(i)->migrations();
+  }
+  EXPECT_GT(migrations, 0u);
+  EXPECT_EQ(rig.machine->overhead().migrations, migrations);
+}
+
+TEST(Machine, ScheduleCostCharged) {
+  Rig rig(1, 1, Ms(1), ZeroCostConfig(1));
+  rig.sched->set_sched_cost(Us(2));
+  rig.vm->vcpu(0)->Wake();
+  rig.sim.RunUntil(Ms(10));
+  const OverheadStats& oh = rig.machine->overhead();
+  EXPECT_GT(oh.schedule_calls, 0u);
+  EXPECT_EQ(oh.schedule_time, oh.schedule_calls * Us(2));
+}
+
+TEST(Machine, InjectOverheadStealsTime) {
+  Rig rig(1, 1, Ms(1), ZeroCostConfig(1));
+  rig.vm->vcpu(0)->Wake();
+  rig.sim.At(Ms(2), [&] { rig.machine->pcpu(0)->InjectOverhead(Us(100)); });
+  rig.sim.RunUntil(Ms(10));
+  EXPECT_NEAR(static_cast<double>(rig.vm->vcpu(0)->total_runtime()),
+              static_cast<double>(Ms(10) - Us(100)), static_cast<double>(Us(1)));
+}
+
+TEST(Machine, OverheadFraction) {
+  OverheadStats oh;
+  oh.schedule_time = Ms(1);
+  oh.context_switch_time = Ms(1);
+  EXPECT_DOUBLE_EQ(oh.Fraction(Ms(100), 2), 0.01);
+  OverheadStats later = oh;
+  later.schedule_time = Ms(3);
+  OverheadStats d = later.Delta(oh);
+  EXPECT_EQ(d.schedule_time, Ms(2));
+  EXPECT_EQ(d.context_switch_time, 0);
+}
+
+TEST(Machine, HotplugVcpuMidRun) {
+  Rig rig(2, 1, Ms(1), ZeroCostConfig(2));
+  rig.vm->vcpu(0)->Wake();
+  HogClient extra;
+  rig.sim.At(Ms(5), [&] {
+    Vcpu* v = rig.vm->AddVcpu();
+    v->set_client(&extra);
+    v->Wake();
+  });
+  rig.sim.RunUntil(Ms(10));
+  ASSERT_EQ(rig.vm->num_vcpus(), 2);
+  EXPECT_NEAR(static_cast<double>(rig.vm->vcpu(1)->total_runtime()),
+              static_cast<double>(Ms(5)), static_cast<double>(Ms(1)));
+}
+
+}  // namespace
+}  // namespace rtvirt

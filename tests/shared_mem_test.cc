@@ -1,0 +1,112 @@
+// Shared scheduling page and hypercall ABI.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/hv/shared_mem.h"
+#include "src/runner/experiment.h"
+#include "src/rtvirt/guest_channel.h"
+#include "tests/test_util.h"
+
+namespace rtvirt {
+namespace {
+
+TEST(SharedSchedPage, DefaultsToNever) {
+  SharedSchedPage page;
+  EXPECT_EQ(page.next_deadline(0), kTimeNever);
+  EXPECT_EQ(page.next_deadline(7), kTimeNever);
+  EXPECT_EQ(page.next_deadline(-1), kTimeNever);
+}
+
+TEST(SharedSchedPage, PublishAndRead) {
+  SharedSchedPage page;
+  page.PublishNextDeadline(2, Ms(30));
+  EXPECT_EQ(page.next_deadline(2), Ms(30));
+  EXPECT_EQ(page.next_deadline(0), kTimeNever);  // Other slots untouched.
+  page.PublishNextDeadline(2, Ms(10));
+  EXPECT_EQ(page.next_deadline(2), Ms(10));  // Overwrites.
+}
+
+TEST(SharedSchedPage, HostAllocationSlots) {
+  SharedSchedPage page;
+  page.PublishAllocation(1, Ms(5), Us(250));
+  EXPECT_EQ(page.allocation_start(1), Ms(5));
+  EXPECT_EQ(page.allocation_length(1), Us(250));
+  EXPECT_EQ(page.allocation_length(0), 0);
+}
+
+TEST(HypercallAbi, StatusCodesAreErrnoLike) {
+  EXPECT_EQ(kHypercallOk, 0);
+  EXPECT_LT(kHypercallNoBandwidth, 0);
+  EXPECT_LT(kHypercallInvalid, 0);
+  EXPECT_LT(kHypercallNotSupported, 0);
+}
+
+TEST(HypercallAbi, NonCrossLayerSchedulersRejectHypercalls) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kCredit;
+  cfg.machine = ZeroCostMachine(1);
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = g->vm()->vcpu(0);
+  args.bw_a = Bandwidth::FromDouble(0.5);
+  args.period_a = Ms(10);
+  EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallNotSupported);
+}
+
+TEST(HypercallAbi, CostChargedPerCall) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine = ZeroCostMachine(2);
+  cfg.machine.hypercall_cost = Us(10);
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  HypercallArgs args;
+  args.op = SchedOp::kIncBw;
+  args.vcpu_a = g->vm()->vcpu(0);
+  args.bw_a = Bandwidth::FromDouble(0.3);
+  args.period_a = Ms(10);
+  ASSERT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallOk);
+  EXPECT_EQ(exp.machine().overhead().hypercalls, 1u);
+  EXPECT_EQ(exp.machine().overhead().hypercall_time, Us(10));
+}
+
+TEST(GuestChannelTest, PublishesThroughSharedPage) {
+  Simulator sim;
+  Machine m(&sim, ZeroCostMachine(1));
+  m.SetScheduler(std::make_unique<DedicatedScheduler>());
+  Vm* vm = m.AddVm("vm");
+  Vcpu* v = vm->AddVcpu();
+  RtvirtGuestChannel channel(&m);
+  channel.PublishNextDeadline(v, Ms(42));
+  EXPECT_EQ(vm->shared_page().next_deadline(0), Ms(42));
+}
+
+TEST(GuestChannelTest, SlackCappedAtOneCpuAndFraction) {
+  Simulator sim;
+  Machine m(&sim, ZeroCostMachine(1));
+  m.SetScheduler(std::make_unique<DedicatedScheduler>());
+  GuestChannelOptions opts;
+  opts.budget_slack = Us(500);
+  opts.max_slack_fraction = 0.1;
+  RtvirtGuestChannel channel(&m, opts);
+  // ms-scale period: full 500 us slack applies.
+  Bandwidth ms_task = Bandwidth::FromSlicePeriod(Ms(5), Ms(10));
+  EXPECT_EQ(channel.WithSlack(ms_task, Ms(10)) - ms_task,
+            Bandwidth::FromSlicePeriod(Us(500), Ms(10)));
+  // us-scale period: capped to 10% of the period, not a full extra CPU.
+  Bandwidth us_task = Bandwidth::FromSlicePeriod(Us(58), Us(500));
+  Bandwidth padded = channel.WithSlack(us_task, Us(500));
+  EXPECT_EQ(padded - us_task, Bandwidth::FromSlicePeriod(Us(50), Us(500)));
+  // Near-saturated task: never exceeds one CPU.
+  Bandwidth big = Bandwidth::FromDouble(0.99);
+  EXPECT_EQ(channel.WithSlack(big, Ms(1)), Bandwidth::One());
+  // Zero bandwidth passes through unchanged.
+  EXPECT_EQ(channel.WithSlack(Bandwidth::Zero(), Ms(10)), Bandwidth::Zero());
+}
+
+}  // namespace
+}  // namespace rtvirt

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace rtvirt {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&] { fired.push_back(3); });
+  q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(7, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.Schedule(5, [&] { ++fired; });
+  q.Schedule(6, [&] { ++fired; });
+  q.Cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  auto id = q.Schedule(1, [] {});
+  q.PopNext().callback();
+  q.Cancel(id);  // Must not corrupt the live count.
+  EXPECT_TRUE(q.empty());
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop) {
+  EventQueue q;
+  auto id = q.Schedule(1, [] {});
+  auto id2 = id;
+  q.Cancel(id);
+  q.Cancel(id2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto id = q.Schedule(5, [] {});
+  q.Schedule(9, [] {});
+  q.Cancel(id);
+  EXPECT_EQ(q.NextTime(), 9);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.At(100, [&] { seen = sim.Now(); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(100, [&] { ++fired; });
+  sim.At(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 150);
+  sim.RunUntil(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    ++chain;
+    if (chain < 10) {
+      sim.After(10, next);
+    }
+  };
+  sim.After(10, next);
+  sim.RunAll();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(Simulator, AfterZeroRunsAtSameTimeInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(50, [&] {
+    order.push_back(1);
+    sim.After(0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+}  // namespace
+}  // namespace rtvirt
