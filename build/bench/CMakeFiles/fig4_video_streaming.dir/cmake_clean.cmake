@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_video_streaming.dir/fig4_video_streaming.cc.o"
+  "CMakeFiles/fig4_video_streaming.dir/fig4_video_streaming.cc.o.d"
+  "fig4_video_streaming"
+  "fig4_video_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_video_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

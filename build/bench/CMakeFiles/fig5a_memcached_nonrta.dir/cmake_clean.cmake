@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_memcached_nonrta.dir/fig5a_memcached_nonrta.cc.o"
+  "CMakeFiles/fig5a_memcached_nonrta.dir/fig5a_memcached_nonrta.cc.o.d"
+  "fig5a_memcached_nonrta"
+  "fig5a_memcached_nonrta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_memcached_nonrta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

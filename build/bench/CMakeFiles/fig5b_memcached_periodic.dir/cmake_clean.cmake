@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_memcached_periodic.dir/fig5b_memcached_periodic.cc.o"
+  "CMakeFiles/fig5b_memcached_periodic.dir/fig5b_memcached_periodic.cc.o.d"
+  "fig5b_memcached_periodic"
+  "fig5b_memcached_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_memcached_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

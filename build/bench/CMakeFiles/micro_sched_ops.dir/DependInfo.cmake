@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sched_ops.cc" "bench/CMakeFiles/micro_sched_ops.dir/micro_sched_ops.cc.o" "gcc" "bench/CMakeFiles/micro_sched_ops.dir/micro_sched_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

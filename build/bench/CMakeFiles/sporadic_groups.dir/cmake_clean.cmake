@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sporadic_groups.dir/sporadic_groups.cc.o"
+  "CMakeFiles/sporadic_groups.dir/sporadic_groups.cc.o.d"
+  "sporadic_groups"
+  "sporadic_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sporadic_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

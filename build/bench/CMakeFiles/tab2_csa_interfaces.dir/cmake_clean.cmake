@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_csa_interfaces.dir/tab2_csa_interfaces.cc.o"
+  "CMakeFiles/tab2_csa_interfaces.dir/tab2_csa_interfaces.cc.o.d"
+  "tab2_csa_interfaces"
+  "tab2_csa_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_csa_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_memcached_dedicated.dir/tab4_memcached_dedicated.cc.o"
+  "CMakeFiles/tab4_memcached_dedicated.dir/tab4_memcached_dedicated.cc.o.d"
+  "tab4_memcached_dedicated"
+  "tab4_memcached_dedicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_memcached_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

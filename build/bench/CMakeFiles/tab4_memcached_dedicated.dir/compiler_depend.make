@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab4_memcached_dedicated.
+# This may be replaced when dependencies are built.

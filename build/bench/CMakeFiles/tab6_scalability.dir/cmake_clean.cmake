@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_scalability.dir/tab6_scalability.cc.o"
+  "CMakeFiles/tab6_scalability.dir/tab6_scalability.cc.o.d"
+  "tab6_scalability"
+  "tab6_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_slo.dir/memcached_slo.cpp.o"
+  "CMakeFiles/memcached_slo.dir/memcached_slo.cpp.o.d"
+  "memcached_slo"
+  "memcached_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

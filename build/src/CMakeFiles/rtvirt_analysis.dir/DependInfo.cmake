@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/carts.cc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/carts.cc.o" "gcc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/carts.cc.o.d"
+  "/root/repo/src/analysis/dmpr.cc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/dmpr.cc.o" "gcc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/dmpr.cc.o.d"
+  "/root/repo/src/analysis/resource_model.cc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/resource_model.cc.o" "gcc" "src/CMakeFiles/rtvirt_analysis.dir/analysis/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

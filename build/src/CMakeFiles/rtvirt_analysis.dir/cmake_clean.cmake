@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_analysis.dir/analysis/carts.cc.o"
+  "CMakeFiles/rtvirt_analysis.dir/analysis/carts.cc.o.d"
+  "CMakeFiles/rtvirt_analysis.dir/analysis/dmpr.cc.o"
+  "CMakeFiles/rtvirt_analysis.dir/analysis/dmpr.cc.o.d"
+  "CMakeFiles/rtvirt_analysis.dir/analysis/resource_model.cc.o"
+  "CMakeFiles/rtvirt_analysis.dir/analysis/resource_model.cc.o.d"
+  "librtvirt_analysis.a"
+  "librtvirt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_baselines.dir/baselines/credit.cc.o"
+  "CMakeFiles/rtvirt_baselines.dir/baselines/credit.cc.o.d"
+  "CMakeFiles/rtvirt_baselines.dir/baselines/server_edf.cc.o"
+  "CMakeFiles/rtvirt_baselines.dir/baselines/server_edf.cc.o.d"
+  "librtvirt_baselines.a"
+  "librtvirt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/migration_model.cc" "src/CMakeFiles/rtvirt_cluster.dir/cluster/migration_model.cc.o" "gcc" "src/CMakeFiles/rtvirt_cluster.dir/cluster/migration_model.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "src/CMakeFiles/rtvirt_cluster.dir/cluster/placement.cc.o" "gcc" "src/CMakeFiles/rtvirt_cluster.dir/cluster/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

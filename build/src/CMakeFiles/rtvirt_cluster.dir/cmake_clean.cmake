@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_cluster.dir/cluster/migration_model.cc.o"
+  "CMakeFiles/rtvirt_cluster.dir/cluster/migration_model.cc.o.d"
+  "CMakeFiles/rtvirt_cluster.dir/cluster/placement.cc.o"
+  "CMakeFiles/rtvirt_cluster.dir/cluster/placement.cc.o.d"
+  "librtvirt_cluster.a"
+  "librtvirt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

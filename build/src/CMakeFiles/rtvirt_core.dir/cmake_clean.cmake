@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_core.dir/rtvirt/dpwrap.cc.o"
+  "CMakeFiles/rtvirt_core.dir/rtvirt/dpwrap.cc.o.d"
+  "CMakeFiles/rtvirt_core.dir/rtvirt/guest_channel.cc.o"
+  "CMakeFiles/rtvirt_core.dir/rtvirt/guest_channel.cc.o.d"
+  "CMakeFiles/rtvirt_core.dir/rtvirt/wrap_layout.cc.o"
+  "CMakeFiles/rtvirt_core.dir/rtvirt/wrap_layout.cc.o.d"
+  "librtvirt_core.a"
+  "librtvirt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

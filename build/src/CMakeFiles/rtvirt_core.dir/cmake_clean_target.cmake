@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtvirt_core.a"
+)

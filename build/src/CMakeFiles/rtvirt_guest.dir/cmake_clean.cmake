@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_guest.dir/guest/guest_os.cc.o"
+  "CMakeFiles/rtvirt_guest.dir/guest/guest_os.cc.o.d"
+  "librtvirt_guest.a"
+  "librtvirt_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/machine.cc" "src/CMakeFiles/rtvirt_hv.dir/hv/machine.cc.o" "gcc" "src/CMakeFiles/rtvirt_hv.dir/hv/machine.cc.o.d"
+  "/root/repo/src/hv/pcpu.cc" "src/CMakeFiles/rtvirt_hv.dir/hv/pcpu.cc.o" "gcc" "src/CMakeFiles/rtvirt_hv.dir/hv/pcpu.cc.o.d"
+  "/root/repo/src/hv/vcpu.cc" "src/CMakeFiles/rtvirt_hv.dir/hv/vcpu.cc.o" "gcc" "src/CMakeFiles/rtvirt_hv.dir/hv/vcpu.cc.o.d"
+  "/root/repo/src/hv/vm.cc" "src/CMakeFiles/rtvirt_hv.dir/hv/vm.cc.o" "gcc" "src/CMakeFiles/rtvirt_hv.dir/hv/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_hv.dir/hv/machine.cc.o"
+  "CMakeFiles/rtvirt_hv.dir/hv/machine.cc.o.d"
+  "CMakeFiles/rtvirt_hv.dir/hv/pcpu.cc.o"
+  "CMakeFiles/rtvirt_hv.dir/hv/pcpu.cc.o.d"
+  "CMakeFiles/rtvirt_hv.dir/hv/vcpu.cc.o"
+  "CMakeFiles/rtvirt_hv.dir/hv/vcpu.cc.o.d"
+  "CMakeFiles/rtvirt_hv.dir/hv/vm.cc.o"
+  "CMakeFiles/rtvirt_hv.dir/hv/vm.cc.o.d"
+  "librtvirt_hv.a"
+  "librtvirt_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/alloc_tracker.cc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/alloc_tracker.cc.o" "gcc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/alloc_tracker.cc.o.d"
+  "/root/repo/src/metrics/deadline_monitor.cc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/deadline_monitor.cc.o" "gcc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/deadline_monitor.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/rtvirt_metrics.dir/metrics/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_metrics.dir/metrics/alloc_tracker.cc.o"
+  "CMakeFiles/rtvirt_metrics.dir/metrics/alloc_tracker.cc.o.d"
+  "CMakeFiles/rtvirt_metrics.dir/metrics/deadline_monitor.cc.o"
+  "CMakeFiles/rtvirt_metrics.dir/metrics/deadline_monitor.cc.o.d"
+  "CMakeFiles/rtvirt_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/rtvirt_metrics.dir/metrics/report.cc.o.d"
+  "librtvirt_metrics.a"
+  "librtvirt_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_runner.dir/runner/experiment.cc.o"
+  "CMakeFiles/rtvirt_runner.dir/runner/experiment.cc.o.d"
+  "librtvirt_runner.a"
+  "librtvirt_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/rtvirt_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/rtvirt_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/rtvirt_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/rtvirt_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/rtvirt_sim.dir/sim/stats.cc.o.d"
+  "librtvirt_sim.a"
+  "librtvirt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

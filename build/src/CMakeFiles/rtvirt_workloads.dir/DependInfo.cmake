@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/churn.cc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/churn.cc.o" "gcc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/churn.cc.o.d"
+  "/root/repo/src/workloads/memcached.cc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/memcached.cc.o" "gcc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/memcached.cc.o.d"
+  "/root/repo/src/workloads/periodic.cc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/periodic.cc.o" "gcc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/periodic.cc.o.d"
+  "/root/repo/src/workloads/sporadic.cc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/sporadic.cc.o" "gcc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/sporadic.cc.o.d"
+  "/root/repo/src/workloads/vlc.cc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/vlc.cc.o" "gcc" "src/CMakeFiles/rtvirt_workloads.dir/workloads/vlc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtvirt_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtvirt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtvirt_workloads.dir/workloads/churn.cc.o"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/churn.cc.o.d"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/memcached.cc.o"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/memcached.cc.o.d"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/periodic.cc.o"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/periodic.cc.o.d"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/sporadic.cc.o"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/sporadic.cc.o.d"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/vlc.cc.o"
+  "CMakeFiles/rtvirt_workloads.dir/workloads/vlc.cc.o.d"
+  "librtvirt_workloads.a"
+  "librtvirt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtvirt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

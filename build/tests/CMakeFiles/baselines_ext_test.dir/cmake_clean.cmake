@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_ext_test.dir/baselines_ext_test.cc.o"
+  "CMakeFiles/baselines_ext_test.dir/baselines_ext_test.cc.o.d"
+  "baselines_ext_test"
+  "baselines_ext_test.pdb"
+  "baselines_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

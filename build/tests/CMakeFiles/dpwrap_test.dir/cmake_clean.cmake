@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpwrap_test.dir/dpwrap_test.cc.o"
+  "CMakeFiles/dpwrap_test.dir/dpwrap_test.cc.o.d"
+  "dpwrap_test"
+  "dpwrap_test.pdb"
+  "dpwrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpwrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

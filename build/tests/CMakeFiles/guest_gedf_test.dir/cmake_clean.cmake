@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_gedf_test.dir/guest_gedf_test.cc.o"
+  "CMakeFiles/guest_gedf_test.dir/guest_gedf_test.cc.o.d"
+  "guest_gedf_test"
+  "guest_gedf_test.pdb"
+  "guest_gedf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_gedf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrap_layout_test.dir/wrap_layout_test.cc.o"
+  "CMakeFiles/wrap_layout_test.dir/wrap_layout_test.cc.o.d"
+  "wrap_layout_test"
+  "wrap_layout_test.pdb"
+  "wrap_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrap_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
