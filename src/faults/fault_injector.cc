@@ -1,0 +1,86 @@
+#include "src/faults/fault_injector.h"
+
+#include <utility>
+
+namespace rtvirt {
+
+FaultInjector::FaultInjector(Machine* machine, FaultPlan plan)
+    : machine_(machine), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::InOutage(TimeNs now) const {
+  for (const FaultPlan::Outage& o : plan_.hypercall_outages) {
+    if (now >= o.start && now < o.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Machine::HypercallFault FaultInjector::OnHypercall(Vcpu* caller, const HypercallArgs& args) {
+  (void)caller, (void)args;
+  ++stats_.hypercall_attempts;
+  Machine::HypercallFault fault;
+  // Outage windows are checked first and draw no randomness: adding or
+  // removing an outage does not shift the RNG stream of the random faults
+  // outside the window.
+  if (InOutage(machine_->sim()->Now())) {
+    ++stats_.outage_failures;
+    fault.action = Machine::HypercallFault::Action::kFail;
+    return fault;
+  }
+  if (plan_.hypercall_drop_prob > 0 && rng_.Bernoulli(plan_.hypercall_drop_prob)) {
+    ++stats_.injected_drops;
+    fault.action = Machine::HypercallFault::Action::kDrop;
+    fault.extra_latency = plan_.hypercall_drop_timeout;
+    return fault;
+  }
+  if (plan_.hypercall_fail_prob > 0 && rng_.Bernoulli(plan_.hypercall_fail_prob)) {
+    ++stats_.injected_failures;
+    fault.action = Machine::HypercallFault::Action::kFail;
+    return fault;
+  }
+  if (plan_.hypercall_spike_prob > 0 && rng_.Bernoulli(plan_.hypercall_spike_prob)) {
+    ++stats_.injected_spikes;
+    fault.extra_latency = plan_.hypercall_spike_latency;
+  }
+  return fault;
+}
+
+void FaultInjector::Arm() {
+  if (armed_) {
+    return;
+  }
+  armed_ = true;
+  machine_->SetHypercallInterceptor(
+      [this](Vcpu* caller, const HypercallArgs& args) { return OnHypercall(caller, args); });
+  if (plan_.shared_page_visibility_delay > 0) {
+    for (int i = 0; i < machine_->num_vms(); ++i) {
+      machine_->vm(i)->shared_page().SetVisibilityDelay(plan_.shared_page_visibility_delay);
+    }
+  }
+  Simulator* sim = machine_->sim();
+  for (const FaultPlan::VmFailure& f : plan_.vm_failures) {
+    if (f.vm_index < 0 || f.vm_index >= machine_->num_vms()) {
+      continue;
+    }
+    Vm* vm = machine_->vm(f.vm_index);
+    sim->At(f.crash_at, [this, vm] {
+      machine_->CrashVm(vm);
+      ++stats_.vm_crashes;
+      for (const VmHandler& h : crash_handlers_) {
+        h(vm);
+      }
+    });
+    if (f.restart_at < kTimeNever) {
+      sim->At(f.restart_at, [this, vm] {
+        machine_->RestartVm(vm);
+        ++stats_.vm_restarts;
+        for (const VmHandler& h : restart_handlers_) {
+          h(vm);
+        }
+      });
+    }
+  }
+}
+
+}  // namespace rtvirt

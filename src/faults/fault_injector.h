@@ -1,0 +1,121 @@
+// Deterministic fault injection for the cross-layer channel.
+//
+// The paper's evaluation assumes a perfectly reliable substrate: every
+// sched_rtvirt() hypercall succeeds after a fixed cost and every published
+// deadline is instantly host-visible. Related work (arXiv:2206.00258,
+// arXiv:2506.09825) argues hypervisor-layer timing perturbations and
+// imperfections are first-class behaviors, so this subsystem makes them
+// schedulable events: a seeded FaultPlan drives a FaultInjector from the
+// existing Simulator event queue, and the same seed + plan reproduces the
+// exact same fault trace (asserted by tests/faults_test.cc).
+//
+// Three fault classes:
+//   (a) hypercall faults — per-attempt transient failures (-EAGAIN), dropped
+//       calls (timeout, then -EAGAIN), latency spikes, and hard outage
+//       windows during which every call fails;
+//   (b) shared-memory staleness — guest-published deadlines become host-
+//       visible only after a configurable coherence-window delay;
+//   (c) VM failures — a VM crashes at a planned instant (its in-flight
+//       host reservations are orphaned) and optionally restarts later.
+
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/hv/machine.h"
+
+namespace rtvirt {
+
+struct FaultPlan {
+  // Seed of the injector's private RNG stream; independent of the workload
+  // RNG so enabling faults does not perturb workload generation.
+  uint64_t seed = 1;
+
+  // ---- (a) hypercall faults (per delivery attempt; retries re-roll) ----
+  double hypercall_fail_prob = 0.0;   // Transient -EAGAIN.
+  double hypercall_drop_prob = 0.0;   // Lost call: timeout, then -EAGAIN.
+  double hypercall_spike_prob = 0.0;  // Latency spike on a delivered call.
+  TimeNs hypercall_spike_latency = Us(100);
+  TimeNs hypercall_drop_timeout = Ms(1);  // What the caller waits before giving up.
+  // Hard outages: every hypercall issued in [start, end) fails. This is what
+  // exhausts bounded retries and forces the guest channel into degraded mode.
+  struct Outage {
+    TimeNs start = 0;
+    TimeNs end = 0;
+  };
+  std::vector<Outage> hypercall_outages;
+
+  // ---- (b) shared-memory staleness ----
+  // Guest deadline publications become host-visible only after this delay.
+  TimeNs shared_page_visibility_delay = 0;
+
+  // ---- (c) VM failures ----
+  struct VmFailure {
+    int vm_index = 0;
+    TimeNs crash_at = 0;
+    TimeNs restart_at = kTimeNever;  // kTimeNever: never restarts.
+  };
+  std::vector<VmFailure> vm_failures;
+
+  bool active() const {
+    return hypercall_fail_prob > 0 || hypercall_drop_prob > 0 ||
+           hypercall_spike_prob > 0 || !hypercall_outages.empty() ||
+           shared_page_visibility_delay > 0 || !vm_failures.empty();
+  }
+};
+
+struct FaultStats {
+  uint64_t hypercall_attempts = 0;   // Calls seen by the injector.
+  uint64_t injected_failures = 0;    // Random transient -EAGAIN.
+  uint64_t injected_drops = 0;       // Random dropped calls.
+  uint64_t injected_spikes = 0;      // Random latency spikes.
+  uint64_t outage_failures = 0;      // Calls failed inside an outage window.
+  uint64_t vm_crashes = 0;
+  uint64_t vm_restarts = 0;
+
+  uint64_t TotalHypercallFaults() const {
+    return injected_failures + injected_drops + outage_failures;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Machine* machine, FaultPlan plan);
+
+  // Installs the hypercall interceptor, arms the shared-page staleness on
+  // every VM currently in the machine and schedules the planned VM failures.
+  // Call after all VMs exist (Experiment arms on Run()). Idempotent.
+  void Arm();
+  bool armed() const { return armed_; }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // Crash/restart observers, run after the machine-level state change. The
+  // experiment harness registers a guest-OS reset on crash; workloads
+  // register re-registration of their RTAs on restart.
+  using VmHandler = std::function<void(Vm*)>;
+  void AddCrashHandler(VmHandler handler) { crash_handlers_.push_back(std::move(handler)); }
+  void AddRestartHandler(VmHandler handler) { restart_handlers_.push_back(std::move(handler)); }
+
+ private:
+  Machine::HypercallFault OnHypercall(Vcpu* caller, const HypercallArgs& args);
+  bool InOutage(TimeNs now) const;
+
+  Machine* machine_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<VmHandler> crash_handlers_;
+  std::vector<VmHandler> restart_handlers_;
+  bool armed_ = false;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

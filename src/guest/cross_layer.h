@@ -48,6 +48,12 @@ class CrossLayerPolicy {
 
   // Publish the next earliest deadline among the RTAs pinned to `vcpu`.
   virtual void PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) { (void)vcpu, (void)deadline; }
+
+  // Forget all per-VCPU channel state (granted reservations, degraded-mode
+  // flags). Called when the guest OS rebuilds after a VM crash: whatever the
+  // host still holds for this VM is orphaned and will be reclaimed by the
+  // host watchdog, not released by the reborn guest.
+  virtual void Reset() {}
 };
 
 }  // namespace rtvirt

@@ -275,7 +275,12 @@ void GuestOs::PublishDeadline(VcpuRun& vr) {
 }
 
 void GuestOs::ReleaseJob(Task* task, TimeNs work, TimeNs deadline) {
-  assert(task->registered() && task->is_rta());
+  assert(task->is_rta());
+  if (vm_->crashed() || !task->registered()) {
+    // Crashed VM, or a task dropped by ResetAfterCrash whose release chain
+    // is still ticking: the release is lost with the VM.
+    return;
+  }
   assert(work > 0);
   TimeNs now = sim()->Now();
   task->jobs_.push_back(Job{now, deadline, work, work});
@@ -458,6 +463,9 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
       params.slice > params.period) {
     return kGuestErrInvalid;
   }
+  if (vm_->crashed()) {
+    return kGuestErrBusy;  // No guest kernel to run the syscall.
+  }
   if (global_edf()) {
     return SchedSetAttrGlobal(task, params);
   }
@@ -548,6 +556,9 @@ int GuestOs::SchedUnregister(Task* task) {
   if (!task->registered()) {
     return kGuestErrInvalid;
   }
+  if (vm_->crashed()) {
+    return kGuestErrBusy;
+  }
   if (global_edf()) {
     return SchedUnregisterGlobal(task);
   }
@@ -559,6 +570,37 @@ int GuestOs::SchedUnregister(Task* task) {
   PublishDeadline(vr);
   Redispatch(vr);
   return kGuestOk;
+}
+
+void GuestOs::ResetAfterCrash() {
+  for (auto& vr : vcpus_) {
+    sim()->Cancel(vr.completion_event);
+    vr.completion_event = Simulator::EventId();
+    vr.running = nullptr;
+    vr.on_cpu = false;
+    vr.rtas.clear();
+    vr.reserved = Bandwidth::Zero();
+    vr.min_period = kTimeNever;
+  }
+  for (auto& t : tasks_) {
+    t->jobs_.clear();
+    t->registered_ = false;
+    t->vcpu_index_ = -1;
+  }
+  global_rtas_.clear();
+  global_total_ = Bandwidth::Zero();
+  global_min_period_ = kTimeNever;
+  // The host-side reservations this guest held are orphaned, not released:
+  // a crashed kernel issues no DEC_BW. The host watchdog reclaims them.
+  cross_layer_->Reset();
+}
+
+void GuestOs::OnVmRestart() {
+  for (auto& vr : vcpus_) {
+    if (vr.vcpu->blocked() && PickTask(vr) != nullptr) {
+      vr.vcpu->Wake();
+    }
+  }
 }
 
 int GuestOs::ReshuffleFor(Bandwidth bw) {

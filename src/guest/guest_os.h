@@ -83,8 +83,22 @@ class GuestOs : public VcpuClient {
   int SchedUnregister(Task* task);
 
   // Releases one job of `work` CPU time due at `deadline` for a registered
-  // RTA (driven by the workload generators).
+  // RTA (driven by the workload generators). Dropped silently while the VM
+  // is crashed or the task is unregistered (fault model: the reborn guest
+  // has not re-registered it yet).
   void ReleaseJob(Task* task, TimeNs work, TimeNs deadline);
+
+  // Fault model: rebuilds the guest scheduler state after a VM crash. Every
+  // task is unregistered and its queued jobs dropped (workloads re-register
+  // on restart), per-VCPU run state is cleared, and the cross-layer policy
+  // forgets its channel state — the host-side leftovers are the watchdog's
+  // problem, not the reborn guest's.
+  void ResetAfterCrash();
+
+  // Fault model: called after the VM restarts. Wakes any VCPU that already
+  // has runnable work (background tasks survive the crash as code, and
+  // nothing else would wake them until the next job release).
+  void OnVmRestart();
 
   // ---- Introspection (tests, benches) ----
   Bandwidth VcpuReservedBw(int vcpu_index) const { return vcpus_[vcpu_index].reserved; }

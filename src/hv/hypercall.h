@@ -40,6 +40,7 @@ struct HypercallArgs {
 
 // Hypercall status codes (mirroring negative-errno kernel conventions).
 constexpr int64_t kHypercallOk = 0;
+constexpr int64_t kHypercallAgain = -11;         // -EAGAIN: transient failure, retry.
 constexpr int64_t kHypercallNoBandwidth = -28;   // -ENOSPC: admission rejected.
 constexpr int64_t kHypercallInvalid = -22;       // -EINVAL.
 constexpr int64_t kHypercallNotSupported = -38;  // -ENOSYS: scheduler lacks cross-layer support.

@@ -46,8 +46,31 @@ void Machine::Start() {
 int64_t Machine::Hypercall(Vcpu* caller, const HypercallArgs& args) {
   ++overhead_.hypercalls;
   overhead_.hypercall_time += config_.hypercall_cost;
+  if (caller != nullptr && caller->vm()->crashed()) {
+    // The caller VM died mid-call: the request never reaches the scheduler.
+    return kHypercallAgain;
+  }
+  if (hypercall_interceptor_) {
+    HypercallFault fault = hypercall_interceptor_(caller, args);
+    overhead_.hypercall_time += fault.extra_latency;
+    if (fault.action != HypercallFault::Action::kNone) {
+      return kHypercallAgain;
+    }
+  }
   return scheduler_->Hypercall(caller, args);
 }
+
+void Machine::CrashVm(Vm* vm) {
+  if (vm->crashed_) {
+    return;
+  }
+  vm->crashed_ = true;
+  for (auto& v : vm->vcpus_) {
+    v->Block();
+  }
+}
+
+void Machine::RestartVm(Vm* vm) { vm->crashed_ = false; }
 
 void Machine::NotifyWake(Vcpu* vcpu) { scheduler_->VcpuWake(vcpu); }
 

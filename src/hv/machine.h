@@ -58,8 +58,36 @@ class Machine {
   void Start();
 
   // Guest-initiated hypercall; charges the configured cost and dispatches to
-  // the host scheduler.
+  // the host scheduler. Transient conditions on the channel itself (a crashed
+  // caller VM, or an injected fault — see SetHypercallInterceptor) return
+  // kHypercallAgain without reaching the scheduler.
   int64_t Hypercall(Vcpu* caller, const HypercallArgs& args);
+
+  // Fault injection on the hypercall path. The interceptor runs before the
+  // call is dispatched and decides whether it proceeds, transiently fails
+  // (-EAGAIN), or is dropped (the guest observes a timeout, then -EAGAIN);
+  // `extra_latency` is charged to the hypercall overhead account either way.
+  struct HypercallFault {
+    enum class Action {
+      kNone,  // Deliver normally.
+      kFail,  // Transient failure: return kHypercallAgain.
+      kDrop,  // Lost call: never dispatched, caller times out to kHypercallAgain.
+    };
+    Action action = Action::kNone;
+    TimeNs extra_latency = 0;
+  };
+  using HypercallInterceptor = std::function<HypercallFault(Vcpu*, const HypercallArgs&)>;
+  void SetHypercallInterceptor(HypercallInterceptor interceptor) {
+    hypercall_interceptor_ = std::move(interceptor);
+  }
+
+  // Fault model: kills / revives a whole VM. Crashing forcibly blocks every
+  // VCPU (revoking any held PCPUs through the normal scheduler path); the
+  // VM's host-side reservations are deliberately left installed — they are
+  // orphaned until a watchdog reclaims them. Restart only clears the crashed
+  // flag; the guest OS model is responsible for rebuilding its own state.
+  void CrashVm(Vm* vm);
+  void RestartVm(Vm* vm);
 
   const OverheadStats& overhead() const { return overhead_; }
   OverheadStats& mutable_overhead() { return overhead_; }
@@ -89,6 +117,7 @@ class Machine {
   int next_vcpu_global_id_ = 0;
   OverheadStats overhead_;
   DispatchTracer dispatch_tracer_;
+  HypercallInterceptor hypercall_interceptor_;
   bool started_ = false;
 };
 

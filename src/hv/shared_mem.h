@@ -6,7 +6,13 @@
 // The host side publishes its most recent per-VCPU allocation so the guest
 // can observe scheduling decisions. On real hardware this is a granted memory
 // page read via cache coherence with no explicit synchronization; in the
-// simulator it is plain shared state.
+// simulator it is plain shared state, optionally with a configurable
+// guest->host visibility delay that models the coherence window (fault
+// injection: a write becomes host-visible only `visibility_delay` ns after it
+// was issued; until then the host reads the previous value). Each slot also
+// records when its visible deadline was published, so the host can apply a
+// freshness horizon and distrust slots a crashed or wedged guest stopped
+// updating.
 
 #ifndef SRC_HV_SHARED_MEM_H_
 #define SRC_HV_SHARED_MEM_H_
@@ -14,29 +20,79 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/sim/simulator.h"
 
 namespace rtvirt {
 
 class SharedSchedPage {
  public:
+  // Wires the simulator clock used for publish timestamps and the staleness
+  // model. Without a clock every write is timestamped 0 and immediately
+  // visible (standalone unit tests).
+  void AttachClock(const Simulator* sim) { sim_ = sim; }
+
+  // Fault injection: guest-side deadline writes become host-visible only
+  // `delay` ns after they are issued (0 restores instant visibility).
+  void SetVisibilityDelay(TimeNs delay) { visibility_delay_ = delay; }
+  TimeNs visibility_delay() const { return visibility_delay_; }
+
   // Guest side: publish the next earliest deadline among the RTAs pinned to
-  // VCPU `vcpu_index`. kTimeNever means "no time-sensitive work".
+  // VCPU `vcpu_index`. kTimeNever means "no time-sensitive work". Negative
+  // indices are ignored (a buggy or malicious guest must not corrupt the
+  // page; see the regression test in tests/shared_mem_test.cc).
   void PublishNextDeadline(int vcpu_index, TimeNs deadline) {
+    if (vcpu_index < 0) {
+      return;
+    }
     Ensure(vcpu_index);
-    slots_[vcpu_index].next_deadline = deadline;
+    Slot& s = slots_[vcpu_index];
+    TimeNs now = Now();
+    Promote(s, now);
+    if (visibility_delay_ > 0) {
+      // The write sits in the coherence window; the previously visible value
+      // keeps being served until `visible_at`. A newer write supersedes a
+      // still-pending one (last write wins, as on real shared memory).
+      s.pending_deadline = deadline;
+      s.pending_published_at = now;
+      s.pending_visible_at = now + visibility_delay_;
+      s.has_pending = true;
+    } else {
+      s.next_deadline = deadline;
+      s.published_at = now;
+    }
   }
 
-  // Host side: read the guest-published deadline.
+  // Host side: read the guest-published deadline (promotes any pending write
+  // whose coherence window has elapsed).
   TimeNs next_deadline(int vcpu_index) const {
-    if (vcpu_index < 0 || static_cast<size_t>(vcpu_index) >= slots_.size()) {
+    if (!Valid(vcpu_index)) {
       return kTimeNever;
     }
-    return slots_[vcpu_index].next_deadline;
+    Slot& s = slots_[vcpu_index];
+    Promote(s, Now());
+    return s.next_deadline;
+  }
+
+  // Host side: when the visible deadline of `vcpu_index` was published by the
+  // guest; -1 if the slot was never written. The host watchdog compares this
+  // against its freshness horizon.
+  TimeNs last_publish_time(int vcpu_index) const {
+    if (!Valid(vcpu_index)) {
+      return -1;
+    }
+    Slot& s = slots_[vcpu_index];
+    Promote(s, Now());
+    return s.published_at;
   }
 
   // Host side: publish the CPU time allocated to the VCPU in the current
   // global slice so the guest can align its decisions with the host's.
+  // (Host->guest writes are not subject to the staleness model: the host
+  // wrote them on the PCPU that will next run the VCPU.)
   void PublishAllocation(int vcpu_index, TimeNs slice_start, TimeNs slice_len) {
+    if (vcpu_index < 0) {
+      return;
+    }
     Ensure(vcpu_index);
     slots_[vcpu_index].alloc_start = slice_start;
     slots_[vcpu_index].alloc_len = slice_len;
@@ -52,9 +108,25 @@ class SharedSchedPage {
  private:
   struct Slot {
     TimeNs next_deadline = kTimeNever;
+    TimeNs published_at = -1;  // When `next_deadline` was written; -1 = never.
     TimeNs alloc_start = 0;
     TimeNs alloc_len = 0;
+    // In-flight guest write not yet host-visible (staleness model).
+    bool has_pending = false;
+    TimeNs pending_deadline = kTimeNever;
+    TimeNs pending_published_at = -1;
+    TimeNs pending_visible_at = 0;
   };
+
+  TimeNs Now() const { return sim_ != nullptr ? sim_->Now() : 0; }
+
+  static void Promote(Slot& s, TimeNs now) {
+    if (s.has_pending && now >= s.pending_visible_at) {
+      s.next_deadline = s.pending_deadline;
+      s.published_at = s.pending_published_at;
+      s.has_pending = false;
+    }
+  }
 
   bool Valid(int vcpu_index) const {
     return vcpu_index >= 0 && static_cast<size_t>(vcpu_index) < slots_.size();
@@ -65,7 +137,11 @@ class SharedSchedPage {
     }
   }
 
-  std::vector<Slot> slots_;
+  const Simulator* sim_ = nullptr;
+  TimeNs visibility_delay_ = 0;
+  // Mutable: host-side reads promote pending writes in place (the page is
+  // shared memory; reads observing time passing is not logical mutation).
+  mutable std::vector<Slot> slots_;
 };
 
 }  // namespace rtvirt

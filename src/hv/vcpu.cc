@@ -24,6 +24,9 @@ void Vcpu::Wake() {
   if (state_ != VcpuState::kBlocked) {
     return;
   }
+  if (vm_->crashed()) {
+    return;  // A crashed VM executes nothing until the machine restarts it.
+  }
   state_ = VcpuState::kRunnable;
   vm_->machine()->NotifyWake(this);
 }

@@ -7,7 +7,9 @@
 namespace rtvirt {
 
 Vm::Vm(Machine* machine, int id, std::string name)
-    : machine_(machine), id_(id), name_(std::move(name)) {}
+    : machine_(machine), id_(id), name_(std::move(name)) {
+  shared_page_.AttachClock(machine_->sim());
+}
 
 Vcpu* Vm::AddVcpu() {
   return machine_->RegisterVcpu(this, static_cast<int>(vcpus_.size()));

@@ -34,6 +34,12 @@ class Vm {
   SharedSchedPage& shared_page() { return shared_page_; }
   const SharedSchedPage& shared_page() const { return shared_page_; }
 
+  // Fault model: a crashed VM executes nothing — its VCPUs are blocked, its
+  // wakes are ignored and its hypercalls fail — until the machine restarts
+  // it. Reservations it held at the host stay installed (orphaned) until the
+  // host watchdog reclaims them. Set via Machine::CrashVm / RestartVm.
+  bool crashed() const { return crashed_; }
+
   // Proportional-share weight for non-time-sensitive (best-effort) CPU time.
   int weight() const { return weight_; }
   void set_weight(int weight) { weight_ = weight; }
@@ -50,6 +56,7 @@ class Vm {
   std::vector<std::unique_ptr<Vcpu>> vcpus_;
   SharedSchedPage shared_page_;
   int weight_ = 256;
+  bool crashed_ = false;
 };
 
 }  // namespace rtvirt

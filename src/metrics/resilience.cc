@@ -1,0 +1,33 @@
+#include "src/metrics/resilience.h"
+
+#include <ostream>
+
+#include "src/metrics/report.h"
+
+namespace rtvirt {
+
+void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
+  TablePrinter table({"layer", "counter", "value"});
+  auto row = [&](const char* layer, const char* name, uint64_t v) {
+    table.AddRow({layer, name, std::to_string(v)});
+  };
+  row("injected", "hypercall_attempts", c.hypercall_attempts);
+  row("injected", "transient_failures", c.injected_failures);
+  row("injected", "dropped_calls", c.injected_drops);
+  row("injected", "latency_spikes", c.injected_spikes);
+  row("injected", "outage_failures", c.outage_failures);
+  row("injected", "vm_crashes", c.vm_crashes);
+  row("injected", "vm_restarts", c.vm_restarts);
+  row("guest", "transient_failures_seen", c.transient_failures);
+  row("guest", "retries", c.retries);
+  row("guest", "retry_successes", c.retry_successes);
+  row("guest", "degraded_entries", c.degraded_entries);
+  row("guest", "recoveries", c.recoveries);
+  row("guest", "repair_attempts", c.repair_attempts);
+  row("guest", "backoff_time_us", static_cast<uint64_t>(c.backoff_time_ns / 1000));
+  row("host", "watchdog_reclaims", c.watchdog_reclaims);
+  row("host", "stale_deadline_rejections", c.stale_rejections);
+  table.Print(out);
+}
+
+}  // namespace rtvirt

@@ -1,0 +1,47 @@
+// Aggregated fault/recovery counters for the resilience experiments: what
+// the fault injector did, how the guest channel coped, and what the host
+// watchdog reclaimed. Kept as plain counters so the metrics layer does not
+// depend on the faults/rtvirt subsystems; the runner fills it in.
+
+#ifndef SRC_METRICS_RESILIENCE_H_
+#define SRC_METRICS_RESILIENCE_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace rtvirt {
+
+struct ResilienceCounters {
+  // Injected faults (FaultInjector).
+  uint64_t hypercall_attempts = 0;
+  uint64_t injected_failures = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_spikes = 0;
+  uint64_t outage_failures = 0;
+  uint64_t vm_crashes = 0;
+  uint64_t vm_restarts = 0;
+
+  // Guest-channel recovery (summed over all RTVirt guests).
+  uint64_t transient_failures = 0;
+  uint64_t retries = 0;
+  uint64_t retry_successes = 0;
+  uint64_t degraded_entries = 0;
+  uint64_t recoveries = 0;
+  uint64_t repair_attempts = 0;
+  int64_t backoff_time_ns = 0;
+
+  // Host watchdog (DP-WRAP).
+  uint64_t watchdog_reclaims = 0;
+  uint64_t stale_rejections = 0;
+
+  uint64_t TotalInjected() const {
+    return injected_failures + injected_drops + outage_failures;
+  }
+};
+
+// Two-column "counter  value" dump, one section per layer.
+void PrintResilience(std::ostream& out, const ResilienceCounters& c);
+
+}  // namespace rtvirt
+
+#endif  // SRC_METRICS_RESILIENCE_H_

@@ -17,6 +17,32 @@ void DpWrapScheduler::Attach(Machine* machine) {
   if (config_.idle_tax.enabled) {
     tax_event_ = machine_->sim()->After(config_.idle_tax.window, [this] { TaxTick(); });
   }
+  if (config_.watchdog.reclaim_crashed) {
+    watchdog_event_ =
+        machine_->sim()->After(config_.watchdog.scan_period, [this] { WatchdogTick(); });
+  }
+}
+
+void DpWrapScheduler::WatchdogTick() {
+  // A crashed VM's guest can never issue the DEC_BW that would free its
+  // reservations; without the watchdog that bandwidth stays admitted forever
+  // and blocks new tenants. Reclaim it host-side.
+  bool changed = false;
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    if (it->first->vm()->crashed()) {
+      total_ -= it->second.bw;
+      ++watchdog_reclaims_;
+      it = reservations_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) {
+    ScheduleReplan();
+  }
+  watchdog_event_ =
+      machine_->sim()->After(config_.watchdog.scan_period, [this] { WatchdogTick(); });
 }
 
 void DpWrapScheduler::AccountRun(Vcpu* vcpu, TimeNs ran) {
@@ -153,7 +179,18 @@ void DpWrapScheduler::Replan() {
   slice_start_ = now;
   TimeNs next_gd = now + config_.max_global_slice;
   for (const auto& [v, res] : reservations_) {
-    TimeNs cand = v->vm()->shared_page().next_deadline(v->index());
+    const SharedSchedPage& page = v->vm()->shared_page();
+    TimeNs cand = page.next_deadline(v->index());
+    if (config_.watchdog.freshness_horizon > 0 && cand < kTimeNever) {
+      // Distrust a deadline the guest has not refreshed within the horizon:
+      // the guest may be wedged (or its publication lost), and honoring an
+      // ancient promise would let the host under-serve everyone else.
+      TimeNs published = page.last_publish_time(v->index());
+      if (published < 0 || now - published > config_.watchdog.freshness_horizon) {
+        ++stale_rejections_;
+        cand = 0;  // Forces the sporadic worst case below.
+      }
+    }
     if (cand <= now) {
       // Stale publication: apply the sporadic worst case — the VCPU's RTAs
       // may activate immediately with their minimum period.

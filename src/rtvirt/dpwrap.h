@@ -57,6 +57,25 @@ struct DpWrapConfig {
     double min_factor = 0.1;  // Never tax below 10% of the claim.
   };
   IdleTax idle_tax;
+
+  // Watchdog (fault model): periodically reclaims the reservations of
+  // crashed VMs (their guests cannot issue DEC_BW anymore — the bandwidth is
+  // orphaned until the host takes it back) and optionally distrusts shared-
+  // page deadlines that have not been refreshed within freshness_horizon.
+  struct Watchdog {
+    // Reclaim orphaned reservations of crashed VMs.
+    bool reclaim_crashed = false;
+    TimeNs scan_period = Ms(10);
+    // Ignore a published deadline whose last write is older than this when
+    // deriving the global deadline; the sporadic worst case (now + period)
+    // applies instead. 0 disables the check. Must exceed the longest RTA
+    // publication interval (roughly the largest RTA period), otherwise
+    // healthy long-period publications get distrusted and over-served.
+    TimeNs freshness_horizon = 0;
+
+    bool enabled() const { return reclaim_crashed || freshness_horizon > 0; }
+  };
+  Watchdog watchdog;
 };
 
 class DpWrapScheduler : public HostScheduler {
@@ -92,6 +111,10 @@ class DpWrapScheduler : public HostScheduler {
   // when the idle tax is disabled.
   Bandwidth total_effective() const;
   double TaxFactor(const Vcpu* vcpu) const;
+  // Fault-model introspection: reservations reclaimed from crashed VMs and
+  // stale publications overridden by the freshness horizon.
+  uint64_t watchdog_reclaims() const { return watchdog_reclaims_; }
+  uint64_t stale_rejections() const { return stale_rejections_; }
 
  private:
   struct Reservation {
@@ -132,6 +155,8 @@ class DpWrapScheduler : public HostScheduler {
   int64_t ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period, bool admit);
   // Periodic idle-tax accounting: adjusts tax factors from observed usage.
   void TaxTick();
+  // Periodic watchdog scan: reclaims crashed-VM reservations.
+  void WatchdogTick();
 
   DpWrapConfig config_;
   Bandwidth capacity_;
@@ -148,11 +173,14 @@ class DpWrapScheduler : public HostScheduler {
   Simulator::EventId replan_event_;
   Simulator::EventId early_replan_event_;
   Simulator::EventId tax_event_;
+  Simulator::EventId watchdog_event_;
   bool replan_pending_ = false;
 
   size_t be_cursor_ = 0;
   int tickle_cursor_ = 0;
   uint64_t replans_ = 0;
+  uint64_t watchdog_reclaims_ = 0;
+  uint64_t stale_rejections_ = 0;
 };
 
 }  // namespace rtvirt

@@ -1,11 +1,27 @@
 // Guest-side implementation of the cross-layer channel (paper section 3.2):
 // translates guest scheduler events into sched_rtvirt() hypercalls and
 // shared-memory deadline publications.
+//
+// Fault tolerance (degraded-mode cross-layer scheduling): the channel treats
+// kHypercallAgain as a transient channel fault and retries the call up to
+// `max_retries` times with exponential backoff (the backoff intervals are
+// charged to the machine's hypercall overhead account — the guest kernel
+// spins/sleeps through them). When retries are exhausted and
+// `degraded_fallback` is set, the VCPU drops to a degraded mode that behaves
+// like a traditional RT-Xen-style server instead of missing deadlines
+// silently: requests are decided locally against the reservation the host
+// last acknowledged, deadline sharing stops (the slot reads "no deadline",
+// so the host schedules the VCPU on bandwidth alone), and a repair loop
+// probes the channel in virtual time with exponential backoff until it can
+// install a conservative standalone reservation (full slack, uncapped by
+// max_slack_fraction). On success the VCPU returns to normal cross-layer
+// operation and republishes its deadline.
 
 #ifndef SRC_RTVIRT_GUEST_CHANNEL_H_
 #define SRC_RTVIRT_GUEST_CHANNEL_H_
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "src/common/bandwidth.h"
 #include "src/common/time.h"
@@ -27,6 +43,30 @@ struct GuestChannelOptions {
   // tuned for millisecond periods: 500 us of slack on a 500 us period would
   // otherwise double the reservation to a full CPU.
   double max_slack_fraction = 0.1;
+
+  // ---- Fault recovery ----
+  // In-call retries after a transient (-EAGAIN) hypercall failure. 0 keeps
+  // the legacy behavior: the first failure is surfaced to the guest.
+  int max_retries = 0;
+  // First retry backoff; multiplied by retry_backoff_mult per retry. Also
+  // seeds the degraded-mode repair loop's probe interval.
+  TimeNs retry_backoff = Us(50);
+  double retry_backoff_mult = 2.0;
+  // Enter degraded mode instead of failing when retries are exhausted.
+  bool degraded_fallback = false;
+  // Upper bound on the repair loop's exponential probe interval.
+  TimeNs repair_backoff_max = Ms(100);
+};
+
+// Counters for the fault/recovery machinery (reported by the benches).
+struct ChannelStats {
+  uint64_t transient_failures = 0;  // -EAGAIN observations (incl. retries).
+  uint64_t retries = 0;             // Re-issued attempts.
+  uint64_t retry_successes = 0;     // Calls that recovered within the retry budget.
+  uint64_t degraded_entries = 0;    // Transitions into degraded mode.
+  uint64_t recoveries = 0;          // Degraded -> normal transitions.
+  uint64_t repair_attempts = 0;     // Async repair probes issued.
+  TimeNs backoff_time = 0;          // Virtual time spent backing off in-call.
 };
 
 class RtvirtGuestChannel : public CrossLayerPolicy {
@@ -39,14 +79,50 @@ class RtvirtGuestChannel : public CrossLayerPolicy {
                         Bandwidth from_bw, TimeNs from_period) override;
   void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) override;
   void PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) override;
+  void Reset() override;
 
   // The VCPU budget actually requested from the host: the RTAs' aggregate
   // bandwidth plus the slack, capped at one full CPU.
   Bandwidth WithSlack(Bandwidth rta_bw, TimeNs period) const;
 
+  // Degraded-mode reservation: full slack (no max_slack_fraction trim), the
+  // conservative RT-Xen-style over-provisioning the channel falls back to.
+  Bandwidth ConservativeBw(Bandwidth rta_bw, TimeNs period) const;
+
+  bool degraded(const Vcpu* vcpu) const;
+  const ChannelStats& stats() const { return stats_; }
+
  private:
+  struct VcpuState {
+    // Raw RTA demand of the last request the channel accepted.
+    Bandwidth rta_bw;
+    TimeNs rta_period = 0;
+    // Padded reservation the host last acknowledged.
+    Bandwidth granted;
+    TimeNs granted_period = 0;
+    // Reservation the repair loop reconciles towards while degraded.
+    Bandwidth desired;
+    TimeNs desired_period = 0;
+    bool degraded = false;
+    TimeNs cached_deadline = kTimeNever;  // Republished on recovery.
+    TimeNs repair_backoff = 0;
+    bool repair_scheduled = false;
+  };
+
+  // One hypercall with the in-call bounded-retry loop.
+  int64_t TryHypercall(Vcpu* caller, const HypercallArgs& args);
+  void EnterDegraded(VcpuState& st, Vcpu* vcpu);
+  void ScheduleRepair(VcpuState& st, Vcpu* vcpu);
+  void RepairTick(Vcpu* vcpu, uint64_t generation);
+  VcpuState& StateOf(Vcpu* vcpu) { return state_[vcpu]; }
+
   Machine* machine_;
   GuestChannelOptions options_;
+  std::unordered_map<const Vcpu*, VcpuState> state_;
+  ChannelStats stats_;
+  // Bumped by Reset(): pending repair events from before a VM crash are
+  // recognized as stale and ignored.
+  uint64_t generation_ = 0;
 };
 
 }  // namespace rtvirt

@@ -43,6 +43,23 @@ Experiment::Experiment(ExperimentConfig config)
       break;
     }
   }
+  if (config_.faults.active()) {
+    injector_ = std::make_unique<FaultInjector>(machine_.get(), config_.faults);
+    // Guest-side crash semantics, registered before any bench-added handler:
+    // the guest kernel's state dies with the VM, and the reborn kernel has
+    // only runnable background work until workloads re-register their RTAs
+    // through their own restart handlers.
+    injector_->AddCrashHandler([this](Vm* vm) {
+      if (GuestOs* g = GuestOf(vm)) {
+        g->ResetAfterCrash();
+      }
+    });
+    injector_->AddRestartHandler([this](Vm* vm) {
+      if (GuestOs* g = GuestOf(vm)) {
+        g->OnVmRestart();
+      }
+    });
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -53,11 +70,65 @@ GuestOs* Experiment::AddGuest(const std::string& name, int vcpus, GuestConfig gu
   for (int i = 0; i < vcpus; ++i) {
     guest->AddVcpu();
   }
+  RtvirtGuestChannel* channel = nullptr;
   if (config_.framework == Framework::kRtvirt) {
-    guest->SetCrossLayer(std::make_unique<RtvirtGuestChannel>(machine_.get(), config_.channel));
+    auto owned = std::make_unique<RtvirtGuestChannel>(machine_.get(), config_.channel);
+    channel = owned.get();
+    guest->SetCrossLayer(std::move(owned));
   }
   guests_.push_back(std::move(guest));
+  channels_.push_back(channel);
   return guests_.back().get();
+}
+
+GuestOs* Experiment::GuestOf(const Vm* vm) const {
+  for (const auto& g : guests_) {
+    if (g->vm() == vm) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+RtvirtGuestChannel* Experiment::ChannelOf(const GuestOs* guest) const {
+  for (size_t i = 0; i < guests_.size(); ++i) {
+    if (guests_[i].get() == guest) {
+      return channels_[i];
+    }
+  }
+  return nullptr;
+}
+
+ResilienceCounters Experiment::resilience() const {
+  ResilienceCounters c;
+  if (injector_ != nullptr) {
+    const FaultStats& f = injector_->stats();
+    c.hypercall_attempts = f.hypercall_attempts;
+    c.injected_failures = f.injected_failures;
+    c.injected_drops = f.injected_drops;
+    c.injected_spikes = f.injected_spikes;
+    c.outage_failures = f.outage_failures;
+    c.vm_crashes = f.vm_crashes;
+    c.vm_restarts = f.vm_restarts;
+  }
+  for (RtvirtGuestChannel* ch : channels_) {
+    if (ch == nullptr) {
+      continue;
+    }
+    const ChannelStats& s = ch->stats();
+    c.transient_failures += s.transient_failures;
+    c.retries += s.retries;
+    c.retry_successes += s.retry_successes;
+    c.degraded_entries += s.degraded_entries;
+    c.recoveries += s.recoveries;
+    c.repair_attempts += s.repair_attempts;
+    c.backoff_time_ns += s.backoff_time;
+  }
+  if (dpwrap_ != nullptr) {
+    c.watchdog_reclaims = dpwrap_->watchdog_reclaims();
+    c.stale_rejections = dpwrap_->stale_rejections();
+  }
+  return c;
 }
 
 void Experiment::SetVcpuServer(Vcpu* vcpu, ServerParams params) {
@@ -67,6 +138,9 @@ void Experiment::SetVcpuServer(Vcpu* vcpu, ServerParams params) {
 
 void Experiment::Run(TimeNs until) {
   if (!started_) {
+    if (injector_ != nullptr) {
+      injector_->Arm();  // All VMs exist by now.
+    }
     machine_->Start();
     started_ = true;
   }

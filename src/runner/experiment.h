@@ -12,8 +12,10 @@
 #include "src/baselines/credit.h"
 #include "src/common/rng.h"
 #include "src/baselines/server_edf.h"
+#include "src/faults/fault_injector.h"
 #include "src/guest/guest_os.h"
 #include "src/hv/machine.h"
+#include "src/metrics/resilience.h"
 #include "src/rtvirt/dpwrap.h"
 #include "src/rtvirt/guest_channel.h"
 #include "src/sim/simulator.h"
@@ -36,6 +38,10 @@ struct ExperimentConfig {
   ServerEdfConfig server_edf;
   CreditConfig credit;
   GuestChannelOptions channel;
+  // Fault-injection plan; an inactive (default) plan leaves the machine
+  // untouched. When active, Run() arms the injector on first call and wires
+  // crash/restart handling to the guests (ResetAfterCrash / OnVmRestart).
+  FaultPlan faults;
   uint64_t seed = 42;
 };
 
@@ -67,6 +73,15 @@ class Experiment {
   void Run(TimeNs until);
 
   const std::vector<std::unique_ptr<GuestOs>>& guests() const { return guests_; }
+  // The guest OS driving `vm`, or null for a VM not created via AddGuest.
+  GuestOs* GuestOf(const Vm* vm) const;
+
+  // Fault injection: null unless config.faults is active (armed on Run()).
+  FaultInjector* fault_injector() const { return injector_.get(); }
+  // The cross-layer channel of `guest` (null unless framework is RTVirt).
+  RtvirtGuestChannel* ChannelOf(const GuestOs* guest) const;
+  // Aggregates injector, per-guest channel, and host watchdog counters.
+  ResilienceCounters resilience() const;
 
  private:
   ExperimentConfig config_;
@@ -76,6 +91,8 @@ class Experiment {
   ServerEdfScheduler* server_edf_ = nullptr;
   CreditScheduler* credit_ = nullptr;
   std::vector<std::unique_ptr<GuestOs>> guests_;
+  std::vector<RtvirtGuestChannel*> channels_;  // Parallel to guests_ (may hold nulls).
+  std::unique_ptr<FaultInjector> injector_;
   Rng rng_;
   bool started_ = false;
 };

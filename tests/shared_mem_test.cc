@@ -28,6 +28,56 @@ TEST(SharedSchedPage, PublishAndRead) {
   EXPECT_EQ(page.next_deadline(2), Ms(10));  // Overwrites.
 }
 
+// Regression: a buggy or malicious guest passing a negative VCPU index used
+// to index the slot vector out of bounds; writes must be ignored and reads
+// must return the defaults.
+TEST(SharedSchedPage, NegativeIndexAccessIsIgnored) {
+  SharedSchedPage page;
+  page.PublishNextDeadline(-5, Ms(1));
+  page.PublishNextDeadline(-1, Ms(2));
+  page.PublishAllocation(-1, Ms(5), Us(250));
+  EXPECT_EQ(page.next_deadline(-5), kTimeNever);
+  EXPECT_EQ(page.next_deadline(-1), kTimeNever);
+  EXPECT_EQ(page.last_publish_time(-1), -1);
+  EXPECT_EQ(page.allocation_start(-1), 0);
+  EXPECT_EQ(page.allocation_length(-1), 0);
+  // And the page is still fully functional for valid indices.
+  page.PublishNextDeadline(0, Ms(3));
+  EXPECT_EQ(page.next_deadline(0), Ms(3));
+}
+
+TEST(SharedSchedPage, LastPublishTimeTracksVisibleWrite) {
+  SharedSchedPage page;
+  EXPECT_EQ(page.last_publish_time(0), -1);  // Never written.
+  page.PublishNextDeadline(0, Ms(3));
+  EXPECT_EQ(page.last_publish_time(0), 0);  // No clock attached: stamped 0.
+}
+
+TEST(SharedSchedPage, VisibilityDelayHidesWritesUntilElapsed) {
+  Simulator sim;
+  SharedSchedPage page;
+  page.AttachClock(&sim);
+  page.SetVisibilityDelay(Us(200));
+
+  page.PublishNextDeadline(0, Ms(9));
+  EXPECT_EQ(page.next_deadline(0), kTimeNever) << "write inside coherence window";
+  EXPECT_EQ(page.last_publish_time(0), -1);
+
+  // A newer write supersedes a still-pending one (last write wins).
+  sim.RunUntil(Us(100));
+  page.PublishNextDeadline(0, Ms(7));
+  sim.RunUntil(Us(250));
+  EXPECT_EQ(page.next_deadline(0), kTimeNever) << "second write restarted the window";
+  sim.RunUntil(Us(300));
+  EXPECT_EQ(page.next_deadline(0), Ms(7));
+  EXPECT_EQ(page.last_publish_time(0), Us(100));  // When the guest wrote it.
+
+  // Zero delay restores instant visibility.
+  page.SetVisibilityDelay(0);
+  page.PublishNextDeadline(0, Ms(5));
+  EXPECT_EQ(page.next_deadline(0), Ms(5));
+}
+
 TEST(SharedSchedPage, HostAllocationSlots) {
   SharedSchedPage page;
   page.PublishAllocation(1, Ms(5), Us(250));

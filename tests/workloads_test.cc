@@ -141,5 +141,37 @@ TEST(Churn, SpawnsAndStopsRtasDynamically) {
   }
 }
 
+TEST(Churn, RejectedEpisodesReleaseNoBandwidth) {
+  // 3 VCPU slots demanding Table 3 streaming profiles (0.44-0.94 CPU each)
+  // against a single PCPU: host admission must reject a good share of the
+  // episodes, and rejected episodes must not leak reserved bandwidth.
+  ExperimentConfig cfg = RtvirtConfig(1);
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 3);
+  DeadlineMonitor mon;
+  ChurnConfig ccfg;
+  ccfg.experiment_len = Sec(60);
+  ccfg.min_episode = Sec(2);
+  ccfg.max_episode = Sec(6);
+  ccfg.max_gap = Sec(1);
+  ccfg.idle_prob = 0.0;  // Every episode is a real streaming profile.
+  ChurnDriver churn(g, ccfg, exp.rng().Fork(), &mon);
+  churn.Start();
+  // Mid-run invariant: admission control never over-commits the host.
+  exp.sim().At(Sec(30), [&exp] {
+    EXPECT_LE(exp.dpwrap()->total_reserved(), Bandwidth::Cpus(1));
+  });
+  exp.Run(Sec(70));
+
+  EXPECT_GT(churn.rtas_started(), 0);
+  EXPECT_GT(churn.rtas_rejected(), 0);
+  for (const auto& rta : churn.rtas()) {
+    EXPECT_FALSE(rta->task()->registered());
+  }
+  // Every admitted episode ended and released its reservation; rejected ones
+  // never held one. Any residue here is a leak on the rejection path.
+  EXPECT_EQ(exp.dpwrap()->total_reserved(), Bandwidth::Zero());
+}
+
 }  // namespace
 }  // namespace rtvirt
