@@ -3,6 +3,7 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -29,13 +30,22 @@ inline ExperimentConfig Config(Framework fw, int pcpus = 15) {
 }
 
 // CARTS interface (1 ms grid, as the published Table 2 values use) for one
-// VCPU's task set.
+// VCPU's task set. An infeasible task set is a bench configuration bug, so
+// it aborts — but only after naming every task so the offending set can be
+// read straight off the failure output.
 inline PeriodicResource CartsInterface(const std::vector<RtaParams>& tasks,
                                        TimeNs granularity = Ms(1)) {
   auto iface = MinimalInterface(tasks, CartsOptions{granularity, 0, 0});
   if (!iface.has_value()) {
-    std::cerr << "CARTS: no feasible interface\n";
-    std::exit(1);
+    std::cerr << "CARTS: no feasible interface at granularity " << granularity
+              << " ns for task set (" << tasks.size() << " tasks):\n";
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const RtaParams& t = tasks[i];
+      std::cerr << "  task[" << i << "]: budget=" << t.slice << " ns period=" << t.period
+                << " ns util=" << TablePrinter::Fmt(t.bandwidth().ToDouble(), 4)
+                << (t.sporadic ? " sporadic" : " periodic") << "\n";
+    }
+    std::abort();
   }
   return *iface;
 }

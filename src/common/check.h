@@ -1,0 +1,28 @@
+// Always-on fatal invariant checks.
+//
+// The simulator's event-ordering invariants (events never fire in the past,
+// the queue's live count never underflows) guard against exactly the silent
+// state corruption a release build is most likely to hit in long runs — so
+// they must not vanish under NDEBUG the way assert() does. RTVIRT_CHECK is
+// active in every build type: on violation it prints a diagnostic with the
+// failing expression and message, then aborts.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RTVIRT_CHECK(cond, ...)                                                  \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      std::fprintf(stderr, "rtvirt: fatal invariant violation at %s:%d: %s\n  ", \
+                   __FILE__, __LINE__, #cond);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                         \
+      std::fprintf(stderr, "\n");                                                \
+      std::fflush(stderr);                                                       \
+      std::abort();                                                              \
+    }                                                                            \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

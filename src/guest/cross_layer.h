@@ -28,8 +28,11 @@ class CrossLayerPolicy {
   // Request the host reserve `rta_bw` (sum of the VCPU's RTA bandwidths,
   // before any slack the policy adds) with the given period. Returns a
   // hypercall status; on failure the guest reverts the triggering change.
-  virtual int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
-    (void)vcpu, (void)rta_bw, (void)period;
+  // `reason` is one of the kBwReason* codes — kBwReasonAdmission marks new
+  // RTA demand, kBwReasonReinflate an overload-recovery probe.
+  virtual int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                                   int64_t reason = kBwReasonNone) {
+    (void)vcpu, (void)rta_bw, (void)period, (void)reason;
     return kHypercallOk;
   }
 
@@ -41,9 +44,12 @@ class CrossLayerPolicy {
     return kHypercallOk;
   }
 
-  // Shrink a VCPU's reservation (DEC_BW); cannot fail.
-  virtual void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
-    (void)vcpu, (void)rta_bw, (void)period;
+  // Shrink a VCPU's reservation (DEC_BW); cannot fail. `reason` is one of the
+  // kBwReason* codes — kBwReasonOverloadShed tells the host the shrink is the
+  // guest responding to overload pressure rather than a voluntary unregister.
+  virtual void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                                int64_t reason = kBwReasonNone) {
+    (void)vcpu, (void)rta_bw, (void)period, (void)reason;
   }
 
   // Publish the next earliest deadline among the RTAs pinned to `vcpu`.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 namespace rtvirt {
@@ -14,6 +15,9 @@ GuestOs::GuestOs(Vm* vm, GuestConfig config)
     VcpuRun vr;
     vr.vcpu = v;
     vcpus_.push_back(std::move(vr));
+  }
+  if (config_.overload.enabled) {
+    sim()->After(config_.overload.pressure_poll, [this] { PressureTick(); });
   }
 }
 
@@ -281,7 +285,18 @@ void GuestOs::ReleaseJob(Task* task, TimeNs work, TimeNs deadline) {
     // is still ticking: the release is lost with the VM.
     return;
   }
+  if (task->shed()) {
+    // Suspended by overload control: the task holds no reservation, so its
+    // releases are dropped (counted, not silently) until it is resumed.
+    ++overload_stats_.shed_job_drops;
+    return;
+  }
   assert(work > 0);
+  if (task->compressed() && work > task->EffectiveSlice()) {
+    // Elastic-task model: a compressed RTA adapts its per-period work to the
+    // budget it actually holds (e.g., a video decoder dropping quality).
+    work = task->EffectiveSlice();
+  }
   TimeNs now = sim()->Now();
   task->jobs_.push_back(Job{now, deadline, work, work});
 
@@ -341,7 +356,9 @@ void GuestOs::RecomputeVcpu(VcpuRun& vr) {
   vr.reserved = Bandwidth::Zero();
   vr.min_period = kTimeNever;
   for (const Task* t : vr.rtas) {
-    vr.reserved += t->params().bandwidth();
+    // Effective = compressed bandwidth when overload control squeezed the
+    // task; identical to params().bandwidth() otherwise.
+    vr.reserved += t->EffectiveBandwidth();
     vr.min_period = std::min(vr.min_period, t->params().period);
   }
 }
@@ -471,34 +488,65 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
   }
   Bandwidth nbw = params.bandwidth();
 
-  if (!task->registered()) {
-    int idx = FindFirstFit(nbw, /*exclude_index=*/-1);
-    if (idx < 0) {
-      idx = ReshuffleFor(nbw);
-    }
-    if (idx < 0 && config_.allow_hotplug &&
-        static_cast<int>(vcpus_.size()) < config_.max_vcpus) {
-      AddVcpu();
-      idx = static_cast<int>(vcpus_.size()) - 1;
-    }
-    if (idx < 0) {
-      return kGuestErrBusy;
-    }
-    VcpuRun& vr = vcpus_[idx];
-    // Hypercall before assigning the RTA to the candidate VCPU (section 3.2).
-    int64_t rc = cross_layer_->RequestBandwidth(vr.vcpu, vr.reserved + nbw,
-                                                MinPeriodWith(vr, params.period));
-    if (rc != kHypercallOk) {
-      return kGuestErrBusy;
-    }
-    PinTask(task, idx, params);
-    Redispatch(vr);
-    return kGuestOk;
+  if (task->registered() && task->shed()) {
+    // Changing the parameters of a shed task re-admits it from scratch: it
+    // holds no pin or reservation, so forget it and fall into registration.
+    shed_.erase(std::remove(shed_.begin(), shed_.end(), task), shed_.end());
+    task->shed_ = false;
+    task->compressed_slice_ = 0;
+    task->registered_ = false;
+    task->jobs_.clear();
   }
 
-  // Parameter change for an already-registered RTA.
+  if (!task->registered()) {
+    bool via_overload = false;
+    while (true) {
+      int idx = FindFirstFit(nbw, /*exclude_index=*/-1);
+      if (idx < 0) {
+        idx = ReshuffleFor(nbw);
+      }
+      if (idx < 0 && config_.allow_hotplug &&
+          static_cast<int>(vcpus_.size()) < config_.max_vcpus) {
+        AddVcpu();
+        idx = static_cast<int>(vcpus_.size()) - 1;
+      }
+      if (idx < 0 && config_.overload.enabled) {
+        // Mixed-criticality admission: degrade strictly-lower-criticality
+        // reservations until the newcomer fits, instead of rejecting it.
+        idx = AdmitViaOverload(params);
+        via_overload = idx >= 0;
+      }
+      if (idx < 0) {
+        return kGuestErrBusy;
+      }
+      VcpuRun& vr = vcpus_[idx];
+      // Hypercall before assigning the RTA to the candidate VCPU (section 3.2).
+      int64_t rc = cross_layer_->RequestBandwidth(vr.vcpu, vr.reserved + nbw,
+                                                  MinPeriodWith(vr, params.period),
+                                                  kBwReasonAdmission);
+      if (rc == kHypercallOk) {
+        if (via_overload) {
+          ++overload_stats_.overload_admissions;
+        }
+        PinTask(task, idx, params);
+        Redispatch(vr);
+        return kGuestOk;
+      }
+      // Host-level rejection. Under overload control a degradation step
+      // releases host bandwidth (DEC_BW), so retry after one; each step
+      // compresses or sheds something, so the loop terminates.
+      if (rc != kHypercallNoBandwidth || !config_.overload.enabled ||
+          !DegradeStepFor(params.criticality)) {
+        return kGuestErrBusy;
+      }
+      via_overload = true;
+    }
+  }
+
+  // Parameter change for an already-registered RTA. The new parameters are a
+  // new contract: any overload compression of the old ones is forgotten.
   VcpuRun& cur = vcpus_[task->vcpu_index()];
-  Bandwidth obw = task->params().bandwidth();
+  Bandwidth obw = task->EffectiveBandwidth();
   Bandwidth in_place = cur.reserved - obw + nbw;
   if (in_place <= cur.capacity) {
     // Recompute the period as if the task already had the new parameters.
@@ -509,14 +557,17 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
       }
     }
     if (nbw > obw) {
-      int64_t rc = cross_layer_->RequestBandwidth(cur.vcpu, in_place, new_period);
+      int64_t rc = cross_layer_->RequestBandwidth(cur.vcpu, in_place, new_period,
+                                                  kBwReasonAdmission);
       if (rc != kHypercallOk) {
         return kGuestErrBusy;
       }
       task->params_ = params;
+      task->compressed_slice_ = 0;
       RecomputeVcpu(cur);
     } else {
       task->params_ = params;
+      task->compressed_slice_ = 0;
       RecomputeVcpu(cur);
       cross_layer_->ReleaseBandwidth(cur.vcpu, cur.reserved, cur.min_period);
     }
@@ -547,6 +598,7 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
   UnpinTask(task);
   PublishDeadline(cur);
   Redispatch(cur);
+  task->compressed_slice_ = 0;
   PinTask(task, idx, params);
   Redispatch(to);
   return kGuestOk;
@@ -561,6 +613,16 @@ int GuestOs::SchedUnregister(Task* task) {
   }
   if (global_edf()) {
     return SchedUnregisterGlobal(task);
+  }
+  if (task->shed()) {
+    // A shed task holds no pin or host reservation: forgetting it is a
+    // purely local operation.
+    shed_.erase(std::remove(shed_.begin(), shed_.end(), task), shed_.end());
+    task->shed_ = false;
+    task->compressed_slice_ = 0;
+    task->registered_ = false;
+    task->jobs_.clear();
+    return kGuestOk;
   }
   VcpuRun& vr = vcpus_[task->vcpu_index()];
   UnpinTask(task);
@@ -586,7 +648,12 @@ void GuestOs::ResetAfterCrash() {
     t->jobs_.clear();
     t->registered_ = false;
     t->vcpu_index_ = -1;
+    t->shed_ = false;
+    t->compressed_slice_ = 0;
   }
+  shed_.clear();
+  pressure_ticks_under_ = 0;
+  pressure_clear_ticks_ = 0;
   global_rtas_.clear();
   global_total_ = Bandwidth::Zero();
   global_min_period_ = kTimeNever;
@@ -614,7 +681,7 @@ int GuestOs::ReshuffleFor(Bandwidth bw) {
   items.push_back(Item{nullptr, bw});
   for (const auto& vr : vcpus_) {
     for (Task* t : vr.rtas) {
-      items.push_back(Item{t, t->params().bandwidth()});
+      items.push_back(Item{t, t->EffectiveBandwidth()});
     }
   }
   std::stable_sort(items.begin(), items.end(),
@@ -651,7 +718,7 @@ int GuestOs::ReshuffleFor(Bandwidth bw) {
   std::vector<TimeNs> new_period(vcpus_.size(), kTimeNever);
   for (size_t i = 0; i < vcpus_.size(); ++i) {
     for (const Task* t : assign[i]) {
-      new_bw[i] += t->params().bandwidth();
+      new_bw[i] += t->EffectiveBandwidth();
       new_period[i] = std::min(new_period[i], t->params().period);
     }
   }
@@ -693,6 +760,279 @@ int GuestOs::ReshuffleFor(Bandwidth bw) {
     Redispatch(vcpus_[i]);
   }
   return target;
+}
+
+// ---- Overload control (mixed-criticality elastic degradation) ----
+
+bool GuestOs::CompressUpTo(int max_level) {
+  bool any = false;
+  for (auto& vr : vcpus_) {
+    bool changed = false;
+    for (Task* t : vr.rtas) {
+      if (CritLevel(t) <= max_level && t->params().elastic() && !t->compressed()) {
+        t->compressed_slice_ = t->params().min_slice;
+        ++overload_stats_.compressions;
+        // The elastic task adapts immediately: queued jobs (including the
+        // running one) truncate their remaining work to the compressed
+        // budget. Without this the pre-compression backlog can never drain
+        // — supply now equals per-period demand — and every later job
+        // inherits the tardiness.
+        if (vr.running == t) {
+          SuspendRunning(vr);  // Banks progress; may finish an exact job.
+        }
+        for (Job& j : t->jobs_) {
+          TimeNs done = j.work - j.remaining;
+          TimeNs target = std::max(done, t->EffectiveSlice());
+          if (j.work > target) {
+            j.work = target;
+            j.remaining = target - done;
+          }
+        }
+        changed = true;
+      }
+    }
+    if (changed) {
+      RecomputeVcpu(vr);
+      cross_layer_->ReleaseBandwidth(vr.vcpu, vr.reserved, vr.min_period,
+                                     kBwReasonOverloadShed);
+      PublishDeadline(vr);
+      Redispatch(vr);
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool GuestOs::ShedOneUpTo(int max_level) {
+  Task* victim = nullptr;
+  for (auto& vr : vcpus_) {
+    for (Task* t : vr.rtas) {
+      if (CritLevel(t) > max_level) {
+        continue;
+      }
+      if (victim == nullptr || CritLevel(t) < CritLevel(victim) ||
+          (CritLevel(t) == CritLevel(victim) &&
+           t->EffectiveBandwidth() > victim->EffectiveBandwidth())) {
+        victim = t;
+      }
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  VcpuRun& vr = vcpus_[victim->vcpu_index()];
+  UnpinTask(victim);  // Suspends it if running; drops it from the pin set.
+  victim->shed_ = true;
+  victim->jobs_.clear();
+  shed_.push_back(victim);
+  ++overload_stats_.sheds;
+  cross_layer_->ReleaseBandwidth(vr.vcpu, vr.reserved, vr.min_period,
+                                 kBwReasonOverloadShed);
+  PublishDeadline(vr);
+  Redispatch(vr);
+  return true;
+}
+
+bool GuestOs::DegradeStepFor(Criticality crit) {
+  // Admission-time degradation only sacrifices strictly lower criticality:
+  // a LOW newcomer can displace nothing, HIGH can displace LOW and MED.
+  int below = static_cast<int>(crit) - 1;
+  if (CompressUpTo(below)) {
+    return true;
+  }
+  return ShedOneUpTo(below);
+}
+
+int GuestOs::AdmitViaOverload(const RtaParams& params) {
+  Bandwidth nbw = params.bandwidth();
+  while (DegradeStepFor(params.criticality)) {
+    int idx = FindFirstFit(nbw, /*exclude_index=*/-1);
+    if (idx < 0) {
+      idx = ReshuffleFor(nbw);
+    }
+    if (idx >= 0) {
+      return idx;
+    }
+  }
+  return -1;
+}
+
+void GuestOs::PressureTick() {
+  // Fixed cadence regardless of what this tick does.
+  sim()->After(config_.overload.pressure_poll, [this] { PressureTick(); });
+  if (vm_->crashed() || global_edf()) {
+    return;
+  }
+  if (vm_->shared_page().pressure_level() > 0) {
+    pressure_clear_ticks_ = 0;
+    if (CompressUpTo(static_cast<int>(config_.overload.compress_ceiling))) {
+      // Compression just released bandwidth; give the host a tick to react
+      // before escalating to shedding.
+      pressure_ticks_under_ = 0;
+      return;
+    }
+    if (pressure_ticks_under_ < config_.overload.shed_after_ticks) {
+      ++pressure_ticks_under_;
+    }
+    if (pressure_ticks_under_ >= config_.overload.shed_after_ticks) {
+      ShedOneUpTo(static_cast<int>(config_.overload.shed_ceiling));
+    }
+    return;
+  }
+  pressure_ticks_under_ = 0;
+  if (pressure_clear_ticks_ < config_.overload.reinflate_hold_ticks) {
+    ++pressure_clear_ticks_;
+    return;
+  }
+  // Pressure has been clear long enough (hysteresis): undo one degradation
+  // step per tick — resume a shed task first, else re-inflate one compressed
+  // reservation. Gradual re-inflation avoids compress/expand oscillation.
+  if (!TryResumeShed()) {
+    TryExpandOne();
+  }
+}
+
+bool GuestOs::HostHeadroomCovers(Bandwidth delta) const {
+  const SharedSchedPage& page = vm_->shared_page();
+  if (page.pressure_published_at() < 0) {
+    // No host pressure publisher (host-side overload scan off): fall back to
+    // probing by hypercall; the host still enforces admission.
+    return true;
+  }
+  // The channel pads requests with slack, so leave the slack's worth of
+  // margin by requiring strictly-covering headroom.
+  return delta.ppb() <= page.pressure_headroom_ppb();
+}
+
+bool GuestOs::TryResumeShed() {
+  Task* best = nullptr;
+  for (Task* t : shed_) {
+    if (best == nullptr || CritLevel(t) > CritLevel(best)) {
+      best = t;
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  // A task shed while compressed resumes compressed; TryExpandOne restores
+  // its full budget later if room appears.
+  Bandwidth bw = best->EffectiveBandwidth();
+  if (!HostHeadroomCovers(bw)) {
+    return false;  // Host advertises no room; wait, don't probe.
+  }
+  int idx = FindFirstFit(bw, /*exclude_index=*/-1);
+  if (idx < 0) {
+    return false;  // No local room yet; retry next tick.
+  }
+  VcpuRun& vr = vcpus_[idx];
+  int64_t rc = cross_layer_->RequestBandwidth(vr.vcpu, vr.reserved + bw,
+                                              MinPeriodWith(vr, best->params().period),
+                                              kBwReasonReinflate);
+  if (rc != kHypercallOk) {
+    // Lost a race for the advertised headroom (another guest took it).
+    // Restart the hysteresis window rather than re-probing every tick.
+    pressure_clear_ticks_ = 0;
+    return false;
+  }
+  shed_.erase(std::remove(shed_.begin(), shed_.end(), best), shed_.end());
+  best->shed_ = false;
+  ++overload_stats_.resumes;
+  PinTask(best, idx, best->params_);
+  Redispatch(vr);
+  return true;
+}
+
+bool GuestOs::TryExpandOne() {
+  Task* best = nullptr;
+  for (auto& vr : vcpus_) {
+    for (Task* t : vr.rtas) {
+      if (t->compressed() && (best == nullptr || CritLevel(t) > CritLevel(best))) {
+        best = t;
+      }
+    }
+  }
+  if (best == nullptr) {
+    return false;
+  }
+  VcpuRun& vr = vcpus_[best->vcpu_index()];
+  Bandwidth expanded = vr.reserved - best->EffectiveBandwidth() + best->params().bandwidth();
+  if (expanded > vr.capacity) {
+    return false;  // In-place only; a later tick may free local room.
+  }
+  if (!HostHeadroomCovers(expanded - vr.reserved)) {
+    return false;  // Host advertises no room; wait, don't probe.
+  }
+  int64_t rc =
+      cross_layer_->RequestBandwidth(vr.vcpu, expanded, vr.min_period, kBwReasonReinflate);
+  if (rc != kHypercallOk) {
+    pressure_clear_ticks_ = 0;  // Lost the headroom race; back off one hold.
+    return false;
+  }
+  best->compressed_slice_ = 0;
+  RecomputeVcpu(vr);
+  ++overload_stats_.expansions;
+  PublishDeadline(vr);
+  return true;
+}
+
+std::vector<std::string> GuestOs::AuditInvariants() const {
+  std::vector<std::string> violations;
+  char buf[256];
+  if (global_edf()) {
+    Bandwidth total;
+    for (const Task* t : global_rtas_) {
+      total += t->params().bandwidth();
+    }
+    if (total != global_total_) {
+      std::snprintf(buf, sizeof(buf),
+                    "gEDF total %lld ppb != sum of registered RTA bandwidths %lld ppb",
+                    static_cast<long long>(global_total_.ppb()),
+                    static_cast<long long>(total.ppb()));
+      violations.emplace_back(buf);
+    }
+    return violations;
+  }
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    const VcpuRun& vr = vcpus_[i];
+    Bandwidth sum;
+    for (const Task* t : vr.rtas) {
+      sum += t->EffectiveBandwidth();
+      if (t->vcpu_index() != static_cast<int>(i)) {
+        std::snprintf(buf, sizeof(buf), "task %s pinned to vcpu %zu but vcpu_index=%d",
+                      t->name().c_str(), i, t->vcpu_index());
+        violations.emplace_back(buf);
+      }
+      if (!t->registered() || t->shed()) {
+        std::snprintf(buf, sizeof(buf), "task %s in vcpu %zu pin set but %s",
+                      t->name().c_str(), i,
+                      t->shed() ? "marked shed" : "not registered");
+        violations.emplace_back(buf);
+      }
+    }
+    if (sum != vr.reserved) {
+      std::snprintf(buf, sizeof(buf),
+                    "vcpu %zu reserved %lld ppb != sum of pinned effective bandwidths %lld ppb",
+                    i, static_cast<long long>(vr.reserved.ppb()),
+                    static_cast<long long>(sum.ppb()));
+      violations.emplace_back(buf);
+    }
+    if (vr.reserved > vr.capacity) {
+      std::snprintf(buf, sizeof(buf), "vcpu %zu reserved %lld ppb exceeds capacity %lld ppb",
+                    i, static_cast<long long>(vr.reserved.ppb()),
+                    static_cast<long long>(vr.capacity.ppb()));
+      violations.emplace_back(buf);
+    }
+  }
+  for (const Task* t : shed_) {
+    if (!t->shed() || !t->registered() || t->vcpu_index() != -1 || t->HasPendingJob()) {
+      std::snprintf(buf, sizeof(buf),
+                    "shed task %s inconsistent (shed=%d registered=%d vcpu=%d jobs=%zu)",
+                    t->name().c_str(), t->shed() ? 1 : 0, t->registered() ? 1 : 0,
+                    t->vcpu_index(), t->QueuedJobs());
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
 }
 
 }  // namespace rtvirt

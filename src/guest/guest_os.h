@@ -47,6 +47,42 @@ struct GuestConfig {
   // fit a new RTA (paper: "RTVirt uses CPU hotplug to add additional VCPUs").
   bool allow_hotplug = false;
   int max_vcpus = 64;
+
+  // Mixed-criticality overload control (pEDF only). When enabled, admission
+  // failures degrade lower-criticality reservations instead of rejecting the
+  // newcomer — elastic reservations are compressed toward min_slice and, if
+  // that is not enough, the lowest-criticality RTAs are shed (suspended) —
+  // and a periodic poll of the host's shared-page pressure signal degrades
+  // proactively under host overload and re-inflates when pressure clears.
+  // When disabled (the default) no events are scheduled and behavior is
+  // identical to the classic binary admission test.
+  struct OverloadControl {
+    bool enabled = false;
+    // Cadence of the host-pressure poll (and of re-inflation steps).
+    TimeNs pressure_poll = Ms(5);
+    // Consecutive pressured polls with nothing left to compress before a
+    // task is shed; more ticks = more tolerance for transient pressure.
+    int shed_after_ticks = 2;
+    // Consecutive pressure-free polls before the first re-inflation step
+    // (hysteresis against compress/expand oscillation).
+    int reinflate_hold_ticks = 4;
+    // Only tasks at or below these levels may be shed / compressed by the
+    // pressure poll. (Admission-time degradation is stricter still: it only
+    // touches tasks of strictly lower criticality than the newcomer.)
+    Criticality shed_ceiling = Criticality::kLow;
+    Criticality compress_ceiling = Criticality::kMed;
+  };
+  OverloadControl overload;
+};
+
+// Counters for the overload-control machinery (reported by the benches).
+struct GuestOverloadStats {
+  uint64_t compressions = 0;        // Elastic reservations squeezed to min.
+  uint64_t expansions = 0;          // Compressed reservations re-inflated.
+  uint64_t sheds = 0;               // Tasks suspended by overload control.
+  uint64_t resumes = 0;             // Shed tasks re-admitted.
+  uint64_t shed_job_drops = 0;      // Job releases dropped while shed.
+  uint64_t overload_admissions = 0; // Registrations admitted only via degradation.
 };
 
 class GuestOs : public VcpuClient {
@@ -105,6 +141,15 @@ class GuestOs : public VcpuClient {
   TimeNs VcpuMinPeriod(int vcpu_index) const { return vcpus_[vcpu_index].min_period; }
   Bandwidth TotalReservedBw() const;
   TimeNs NextEarliestDeadline(int vcpu_index) const;
+  GuestSchedClass sched_class() const { return config_.sched_class; }
+  const GuestOverloadStats& overload_stats() const { return overload_stats_; }
+  // Tasks currently suspended by overload control (registered, no pin).
+  const std::vector<Task*>& shed_tasks() const { return shed_; }
+
+  // Self-check of the guest scheduler's bookkeeping invariants (used by the
+  // cross-layer invariant auditor). Returns human-readable violation
+  // descriptions; empty when consistent.
+  std::vector<std::string> AuditInvariants() const;
 
   // VcpuClient:
   void OnVcpuGranted(Vcpu* vcpu) override;
@@ -159,6 +204,29 @@ class GuestOs : public VcpuClient {
   // the new RTA, or -1 if no packing exists.
   int ReshuffleFor(Bandwidth bw);
 
+  // ---- Overload control (mixed-criticality elastic degradation) ----
+  static int CritLevel(const Task* t) {
+    return static_cast<int>(t->params().criticality);
+  }
+  // Periodic poll of the host's shared-page pressure signal.
+  void PressureTick();
+  // Compresses every elastic pinned task at or below `max_level` to its
+  // min_slice; returns whether anything changed.
+  bool CompressUpTo(int max_level);
+  // Sheds the worst victim at or below `max_level` (lowest criticality
+  // first, largest effective bandwidth within a level); false if none.
+  bool ShedOneUpTo(int max_level);
+  // One admission-time degradation step touching only tasks of strictly
+  // lower criticality than `crit`; false when nothing is left to degrade.
+  bool DegradeStepFor(Criticality crit);
+  // Degrades until a VCPU can fit `params`; returns the target index or -1.
+  int AdmitViaOverload(const RtaParams& params);
+  bool TryResumeShed();   // Re-admit the highest-criticality shed task.
+  bool TryExpandOne();    // Re-inflate one compressed reservation in place.
+  // Whether the host's published headroom covers adding `delta` bandwidth
+  // (true when the host never published — fall back to probing).
+  bool HostHeadroomCovers(Bandwidth delta) const;
+
   Vm* vm_;
   GuestConfig config_;
   std::unique_ptr<CrossLayerPolicy> cross_layer_;
@@ -169,6 +237,10 @@ class GuestOs : public VcpuClient {
   Bandwidth global_total_;          // gEDF: sum of registered bandwidths.
   TimeNs global_min_period_ = kTimeNever;
   size_t bg_cursor_ = 0;
+  std::vector<Task*> shed_;  // Suspended by overload control.
+  GuestOverloadStats overload_stats_;
+  int pressure_ticks_under_ = 0;   // Consecutive pressured polls (clamped).
+  int pressure_clear_ticks_ = 0;   // Consecutive pressure-free polls (clamped).
 };
 
 }  // namespace rtvirt

@@ -20,12 +20,32 @@ namespace rtvirt {
 
 class Task;
 
+// Mixed-criticality level of an RTA. Under overload the guest degrades
+// strictly bottom-up: LOW reservations are compressed and shed before MED,
+// and HIGH reservations are never sacrificed for a lower level.
+enum class Criticality {
+  kLow = 0,
+  kMed = 1,
+  kHigh = 2,
+};
+
+const char* CriticalityName(Criticality c);
+
 struct RtaParams {
   TimeNs slice = 0;
   TimeNs period = 0;
   bool sporadic = false;
+  Criticality criticality = Criticality::kMed;
+  // Elastic-task model: the smallest budget per period this RTA can tolerate.
+  // 0 (the default) means inelastic — the reservation is never compressed.
+  // Must be <= slice when set.
+  TimeNs min_slice = 0;
 
   Bandwidth bandwidth() const { return Bandwidth::FromSlicePeriod(slice, period); }
+  bool elastic() const { return min_slice > 0 && min_slice < slice; }
+  Bandwidth min_bandwidth() const {
+    return Bandwidth::FromSlicePeriod(elastic() ? min_slice : slice, period);
+  }
 };
 
 struct Job {
@@ -62,6 +82,21 @@ class Task {
   // VCPU this task is pinned to under pEDF; -1 if unassigned.
   int vcpu_index() const { return vcpu_index_; }
 
+  // ---- Overload state (guest elastic compression / shedding) ----
+  // Shed: registered but suspended by overload control — it holds no
+  // reservation and its job releases are dropped until the guest resumes it.
+  bool shed() const { return shed_; }
+  // Compressed: the reservation was squeezed toward min_slice; the effective
+  // slice is what the scheduler reserves (and what released jobs are clamped
+  // to, modelling the elastic task adapting its per-period work).
+  bool compressed() const { return compressed_slice_ > 0; }
+  TimeNs EffectiveSlice() const {
+    return compressed_slice_ > 0 ? compressed_slice_ : params_.slice;
+  }
+  Bandwidth EffectiveBandwidth() const {
+    return Bandwidth::FromSlicePeriod(EffectiveSlice(), params_.period);
+  }
+
   bool HasPendingJob() const { return !jobs_.empty(); }
   const Job& FrontJob() const { return jobs_.front(); }
   Job& MutableFrontJob() { return jobs_.front(); }
@@ -85,11 +120,25 @@ class Task {
   RtaParams params_;
   bool registered_ = false;
   int vcpu_index_ = -1;
+  bool shed_ = false;
+  TimeNs compressed_slice_ = 0;  // 0 = not compressed.
   std::deque<Job> jobs_;
   TimeNs next_release_ = kTimeNever;
   JobObserver* observer_ = nullptr;
   uint64_t jobs_completed_ = 0;
 };
+
+inline const char* CriticalityName(Criticality c) {
+  switch (c) {
+    case Criticality::kLow:
+      return "LOW";
+    case Criticality::kMed:
+      return "MED";
+    case Criticality::kHigh:
+      return "HIGH";
+  }
+  return "?";
+}
 
 }  // namespace rtvirt
 

@@ -24,6 +24,25 @@ enum class SchedOp {
   kIncDecBw,  // Atomically move bandwidth between two VCPUs (RTA re-pinned).
 };
 
+// Reason code carried by a bandwidth-change hypercall.
+//   kBwReasonOverloadShed — a DEC_BW issued because the guest compressed or
+//     shed reservations in response to host overload pressure (as opposed to
+//     a voluntary shrink when an RTA unregisters); the host counts these to
+//     observe how fast the guests are responding to a pressure signal.
+//   kBwReasonAdmission — an INC_BW carrying *new* RTA demand (registration or
+//     a parameter raise). A rejection of these is the overload signal: the
+//     host raises pressure and withholds the rejected demand from the
+//     published headroom so the retrying application gets the bandwidth the
+//     guests are about to free.
+//   kBwReasonReinflate — an INC_BW undoing an earlier overload degradation
+//     (re-inflating a compressed reservation or resuming a shed task). A
+//     rejection of these must NOT read as fresh overload, or recovery probes
+//     and the pressure signal would chase each other in a loop.
+constexpr int64_t kBwReasonNone = 0;
+constexpr int64_t kBwReasonOverloadShed = 1;
+constexpr int64_t kBwReasonAdmission = 2;
+constexpr int64_t kBwReasonReinflate = 3;
+
 struct HypercallArgs {
   SchedOp op = SchedOp::kIncBw;
   // Primary VCPU: the one whose reservation grows (kIncBw, kIncDecBw) or
@@ -36,7 +55,14 @@ struct HypercallArgs {
   Vcpu* vcpu_b = nullptr;
   Bandwidth bw_b;
   TimeNs period_b = 0;
+  // Why the change was requested (kBwReason*); informational.
+  int64_t reason = kBwReasonNone;
 };
+
+// Host overload-pressure reason codes published in the shared page.
+constexpr int64_t kPressureNone = 0;
+constexpr int64_t kPressureWatermark = 1;   // Reserved total above high watermark.
+constexpr int64_t kPressureAdmission = 2;   // Recent admission rejections.
 
 // Hypercall status codes (mirroring negative-errno kernel conventions).
 constexpr int64_t kHypercallOk = 0;

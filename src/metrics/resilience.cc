@@ -27,6 +27,23 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
   row("guest", "backoff_time_us", static_cast<uint64_t>(c.backoff_time_ns / 1000));
   row("host", "watchdog_reclaims", c.watchdog_reclaims);
   row("host", "stale_deadline_rejections", c.stale_rejections);
+  // Overload-control counters only appear when that machinery fired, so
+  // reports from overload-free runs are unchanged by this feature.
+  uint64_t overload_any = c.pressure_raises + c.pressure_clears + c.admission_rejections +
+                          c.shed_releases + c.compressions + c.expansions + c.sheds +
+                          c.resumes + c.shed_job_drops + c.overload_admissions;
+  if (overload_any > 0) {
+    row("overload", "pressure_raises", c.pressure_raises);
+    row("overload", "pressure_clears", c.pressure_clears);
+    row("overload", "admission_rejections", c.admission_rejections);
+    row("overload", "shed_releases", c.shed_releases);
+    row("overload", "compressions", c.compressions);
+    row("overload", "expansions", c.expansions);
+    row("overload", "sheds", c.sheds);
+    row("overload", "resumes", c.resumes);
+    row("overload", "shed_job_drops", c.shed_job_drops);
+    row("overload", "overload_admissions", c.overload_admissions);
+  }
   table.Print(out);
 }
 

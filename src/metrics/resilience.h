@@ -34,6 +34,19 @@ struct ResilienceCounters {
   uint64_t watchdog_reclaims = 0;
   uint64_t stale_rejections = 0;
 
+  // Overload control: host pressure signal (DP-WRAP) and guest-side
+  // mixed-criticality degradation (summed over all guests).
+  uint64_t pressure_raises = 0;
+  uint64_t pressure_clears = 0;
+  uint64_t admission_rejections = 0;
+  uint64_t shed_releases = 0;
+  uint64_t compressions = 0;
+  uint64_t expansions = 0;
+  uint64_t sheds = 0;
+  uint64_t resumes = 0;
+  uint64_t shed_job_drops = 0;
+  uint64_t overload_admissions = 0;
+
   uint64_t TotalInjected() const {
     return injected_failures + injected_drops + outage_failures;
   }

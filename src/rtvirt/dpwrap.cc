@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "src/hv/machine.h"
 #include "src/rtvirt/wrap_layout.h"
@@ -21,6 +22,65 @@ void DpWrapScheduler::Attach(Machine* machine) {
     watchdog_event_ =
         machine_->sim()->After(config_.watchdog.scan_period, [this] { WatchdogTick(); });
   }
+  if (config_.overload.enabled) {
+    overload_event_ =
+        machine_->sim()->After(config_.overload.scan_period, [this] { OverloadTick(); });
+  }
+}
+
+void DpWrapScheduler::OverloadTick() {
+  double util = capacity_.ppb() > 0
+                    ? static_cast<double>(total_effective().ppb()) /
+                          static_cast<double>(capacity_.ppb())
+                    : 0.0;
+  if (!pressure_) {
+    // Admission rejections are the sharpest overload signal: a guest just
+    // asked for bandwidth the host does not have. The watermark catches the
+    // creeping case where everything was admitted but nothing is left.
+    if (rejections_since_tick_ > 0 || util >= config_.overload.high_watermark) {
+      pressure_ = true;
+      pressure_reason_ =
+          rejections_since_tick_ > 0 ? kPressureAdmission : kPressureWatermark;
+      ++pressure_raises_;
+    }
+  } else if (util <= config_.overload.low_watermark && rejections_since_tick_ == 0) {
+    pressure_ = false;
+    pressure_reason_ = kPressureNone;
+    ++pressure_clears_;
+  }
+  rejections_since_tick_ = 0;
+  // Remaining admittable bandwidth, published so guest re-inflation can stay
+  // below it instead of probing by hypercall (a failed probe would count as
+  // an admission rejection and re-raise pressure). Demand of recently
+  // rejected registrations is withheld: that bandwidth is earmarked for the
+  // retrying newcomers, not for re-inflation — otherwise the re-inflating
+  // guests (polling every scan) would always outrace an application retry
+  // loop and the newcomer would never get in.
+  TimeNs now = machine_->sim()->Now();
+  while (!held_demand_.empty() && held_demand_.front().expires <= now) {
+    held_demand_.pop_front();
+  }
+  Bandwidth held;
+  for (const HeldDemand& h : held_demand_) {
+    held += h.bw;
+  }
+  Bandwidth limit = capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb);
+  // Advertise headroom against the *high watermark*, not the admission
+  // limit: room the guests could legally take but that would immediately
+  // re-raise pressure (util >= high_watermark) must not be advertised, or
+  // resume -> watermark pressure -> shed becomes a steady limit cycle.
+  Bandwidth watermark = Bandwidth::FromPpb(static_cast<int64_t>(
+      config_.overload.high_watermark * static_cast<double>(capacity_.ppb())));
+  limit = std::min(limit, watermark);
+  Bandwidth eff = total_effective() + held;
+  int64_t headroom_ppb = eff < limit ? (limit - eff).ppb() : 0;
+  // Publish to every VM's page each scan (idempotent; guests poll).
+  for (int i = 0; i < machine_->num_vms(); ++i) {
+    machine_->vm(i)->shared_page().PublishPressure(pressure_ ? 1 : 0, pressure_reason_,
+                                                   headroom_ppb);
+  }
+  overload_event_ =
+      machine_->sim()->After(config_.overload.scan_period, [this] { OverloadTick(); });
 }
 
 void DpWrapScheduler::WatchdogTick() {
@@ -415,7 +475,7 @@ TimeNs DpWrapScheduler::ScheduleCost(const Pcpu* pcpu) const {
 }
 
 int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period,
-                                          bool admit) {
+                                          bool admit, int64_t reason) {
   if (bw > Bandwidth::One() || bw < Bandwidth::Zero()) {
     return kHypercallInvalid;
   }
@@ -431,7 +491,46 @@ int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs perio
     Bandwidth old_eff =
         it == reservations_.end() ? Bandwidth::Zero() : it->second.EffectiveBw();
     Bandwidth admitted_total = total_effective() - old_eff + bw;
-    if (admitted_total > capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb)) {
+    Bandwidth limit = capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb);
+    if (config_.overload.enabled && reason == kBwReasonReinflate) {
+      // Re-inflation is only admitted up to the high watermark; new demand
+      // may use the full capacity. Guests gate on the published headroom,
+      // but two guests polling in the same scan window can both claim the
+      // same advertised room — enforcing the watermark here turns that race
+      // into a clean rejection instead of a watermark-pressure/shed cycle.
+      limit = std::min(limit, Bandwidth::FromPpb(static_cast<int64_t>(
+                                  config_.overload.high_watermark *
+                                  static_cast<double>(capacity_.ppb()))));
+    }
+    if (admitted_total > limit) {
+      ++admission_rejections_;
+      // Only *new* RTA demand counts toward pressure. The reason code is the
+      // authoritative signal: guests pack several RTAs per VCPU, so a fresh
+      // admission usually arrives here as a *raise* of an existing
+      // reservation (old != 0), which a registration heuristic would miss.
+      // kBwReasonReinflate (a recovery probe) never raises pressure, or the
+      // probes and the pressure signal would chase each other in a loop.
+      bool new_demand = reason == kBwReasonAdmission ||
+                        (reason == kBwReasonNone && old == Bandwidth::Zero());
+      if (new_demand) {
+        ++rejections_since_tick_;
+        if (config_.overload.enabled) {
+          // Earmark the rejected *increment*: the published headroom
+          // withholds it so re-inflation cannot swallow the bandwidth that
+          // guests are about to shed for this newcomer. (Overlapping retries
+          // of the same newcomer stack extra holds — conservative,
+          // self-expiring.)
+          TimeNs now = machine_->sim()->Now();
+          while (!held_demand_.empty() && held_demand_.front().expires <= now) {
+            held_demand_.pop_front();
+          }
+          Bandwidth delta = bw > old ? bw - old : Bandwidth::Zero();
+          if (delta > Bandwidth::Zero()) {
+            held_demand_.push_back(
+                HeldDemand{now + config_.overload.admission_hold, delta});
+          }
+        }
+      }
       return kHypercallNoBandwidth;
     }
   }
@@ -467,10 +566,14 @@ int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
   int64_t rc = kHypercallInvalid;
   switch (args.op) {
     case SchedOp::kIncBw:
-      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true);
+      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true,
+                            args.reason);
       break;
     case SchedOp::kDecBw:
       rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/false);
+      if (rc == kHypercallOk && args.reason == kBwReasonOverloadShed) {
+        ++shed_releases_;  // Guest responded to pressure; observability only.
+      }
       break;
     case SchedOp::kIncDecBw: {
       if (args.vcpu_b == nullptr) {
@@ -484,7 +587,8 @@ int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
       if (rc_b != kHypercallOk) {
         return rc_b;
       }
-      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true);
+      rc = ApplyReservation(args.vcpu_a, args.bw_a, args.period_a, /*admit=*/true,
+                            args.reason);
       if (rc != kHypercallOk) {
         // Roll the donor back.
         ApplyReservation(args.vcpu_b, old_b, old_period_b, /*admit=*/false);
@@ -497,6 +601,104 @@ int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
     ScheduleReplan();
   }
   return rc;
+}
+
+std::vector<std::string> DpWrapScheduler::AuditPlan() const {
+  std::vector<std::string> violations;
+  char buf[256];
+
+  // Bookkeeping: the cached total must equal the sum of the reservations.
+  Bandwidth sum;
+  for (const auto& [v, res] : reservations_) {
+    sum += res.bw;
+  }
+  if (sum != total_) {
+    std::snprintf(buf, sizeof(buf),
+                  "cached total %lld ppb != sum of reservations %lld ppb",
+                  static_cast<long long>(total_.ppb()), static_cast<long long>(sum.ppb()));
+    violations.emplace_back(buf);
+  }
+
+  // Conservation. Without the idle tax the admitted raw total must fit in
+  // capacity (plus the rounding epsilon). With the tax, admission runs
+  // against the taxed total, so the raw total may legitimately overcommit;
+  // what must hold instead is taxed <= raw (the tax only ever shrinks).
+  if (!config_.idle_tax.enabled) {
+    if (total_ > capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb)) {
+      std::snprintf(buf, sizeof(buf),
+                    "reserved total %lld ppb exceeds capacity %lld ppb + epsilon %lld ppb",
+                    static_cast<long long>(total_.ppb()),
+                    static_cast<long long>(capacity_.ppb()),
+                    static_cast<long long>(config_.admission_epsilon_ppb));
+      violations.emplace_back(buf);
+    }
+  } else if (total_effective() > total_) {
+    std::snprintf(buf, sizeof(buf), "taxed total %lld ppb exceeds raw total %lld ppb",
+                  static_cast<long long>(total_effective().ppb()),
+                  static_cast<long long>(total_.ppb()));
+    violations.emplace_back(buf);
+  }
+
+  // Carry bounds: non-negative, and at most one period of backlog plus the
+  // slack a deferred early replan may add (bounded by min_global_slice).
+  for (const auto& [v, res] : reservations_) {
+    __int128 carry_max = static_cast<__int128>(res.bw.ppb()) *
+                         (res.period + config_.min_global_slice);
+    if (res.carry_ppb < 0 || static_cast<__int128>(res.carry_ppb) > carry_max) {
+      std::snprintf(buf, sizeof(buf), "vcpu %d carry %lld ppb*ns out of bounds [0, bw*period]",
+                    v->index(), static_cast<long long>(res.carry_ppb));
+      violations.emplace_back(buf);
+    }
+  }
+
+  // Plan geometry: per-PCPU segments inside the slice, ordered, disjoint.
+  TimeNs slice_len = slice_end_ - slice_start_;
+  for (size_t p = 0; p < pcpu_plan_.size(); ++p) {
+    TimeNs prev_end = slice_start_;
+    for (const PlanSegment& seg : pcpu_plan_[p]) {
+      if (seg.start < slice_start_ || seg.end > slice_end_ || seg.start > seg.end) {
+        std::snprintf(buf, sizeof(buf),
+                      "pcpu %zu segment [%lld, %lld) outside slice [%lld, %lld)", p,
+                      static_cast<long long>(seg.start), static_cast<long long>(seg.end),
+                      static_cast<long long>(slice_start_),
+                      static_cast<long long>(slice_end_));
+        violations.emplace_back(buf);
+      }
+      if (seg.start < prev_end) {
+        std::snprintf(buf, sizeof(buf),
+                      "pcpu %zu segments overlap: [%lld, %lld) starts before %lld", p,
+                      static_cast<long long>(seg.start), static_cast<long long>(seg.end),
+                      static_cast<long long>(prev_end));
+        violations.emplace_back(buf);
+      }
+      prev_end = seg.end;
+    }
+  }
+
+  // Per-VCPU supply: the slice allocation cannot exceed the reservation's
+  // fluid share of the slice plus one period of carry backlog (+1 ns of
+  // rounding).
+  for (const auto& [v, segs] : vcpu_segments_) {
+    auto it = reservations_.find(v);
+    if (it == reservations_.end()) {
+      // A reservation released mid-slice keeps its planned segments until
+      // the next replan; nothing to bound it against.
+      continue;
+    }
+    TimeNs alloc = 0;
+    for (const PlanSegment& s : segs) {
+      alloc += s.end - s.start;
+    }
+    TimeNs bound = it->second.EffectiveBw().SliceOfCeil(slice_len + it->second.period) + 1;
+    if (alloc > bound) {
+      std::snprintf(buf, sizeof(buf),
+                    "vcpu %d allocated %lld ns in a %lld ns slice, above bound %lld ns",
+                    v->index(), static_cast<long long>(alloc),
+                    static_cast<long long>(slice_len), static_cast<long long>(bound));
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
 }
 
 }  // namespace rtvirt

@@ -13,6 +13,8 @@
 #define SRC_RTVIRT_DPWRAP_H_
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +59,27 @@ struct DpWrapConfig {
     double min_factor = 0.1;  // Never tax below 10% of the claim.
   };
   IdleTax idle_tax;
+
+  // Overload pressure (cross-layer back-signal): a periodic scan compares
+  // the admitted (effective) total against watermark fractions of capacity
+  // and publishes a pressure level into every VM's shared page. Guests with
+  // overload control poll it and compress/shed elastic reservations; the
+  // hysteresis gap between the watermarks keeps reservations from
+  // oscillating. Admission rejections observed since the previous scan also
+  // raise pressure (the clearest overload signal there is).
+  struct Overload {
+    bool enabled = false;
+    TimeNs scan_period = Ms(5);
+    double high_watermark = 0.98;  // Raise pressure at util >= this.
+    double low_watermark = 0.85;   // Clear pressure at util <= this.
+    // After a new registration is rejected, its demand is withheld from the
+    // published headroom for this long: the freed bandwidth is earmarked for
+    // the retrying newcomer instead of being re-absorbed by guests
+    // re-inflating compressed reservations. Must exceed the application's
+    // admission-retry interval to be effective.
+    TimeNs admission_hold = Ms(200);
+  };
+  Overload overload;
 
   // Watchdog (fault model): periodically reclaims the reservations of
   // crashed VMs (their guests cannot issue DEC_BW anymore — the bandwidth is
@@ -115,6 +138,27 @@ class DpWrapScheduler : public HostScheduler {
   // stale publications overridden by the freshness horizon.
   uint64_t watchdog_reclaims() const { return watchdog_reclaims_; }
   uint64_t stale_rejections() const { return stale_rejections_; }
+  // Overload-pressure introspection.
+  bool pressure() const { return pressure_; }
+  uint64_t pressure_raises() const { return pressure_raises_; }
+  uint64_t pressure_clears() const { return pressure_clears_; }
+  uint64_t shed_releases() const { return shed_releases_; }
+  uint64_t admission_rejections() const { return admission_rejections_; }
+
+  // Auditor access: visits every reservation's owner, raw bandwidth, and
+  // period (iteration order is unspecified).
+  template <typename Fn>
+  void ForEachReservation(Fn&& fn) const {
+    for (const auto& [v, res] : reservations_) {
+      fn(v, res.bw, res.period);
+    }
+  }
+
+  // Self-check of the scheduler's bookkeeping and of the current plan
+  // (segments in bounds and non-overlapping, per-VCPU supply within the
+  // reservation plus carry backlog, carries bounded, totals consistent).
+  // Returns human-readable violation descriptions; empty when consistent.
+  std::vector<std::string> AuditPlan() const;
 
  private:
   struct Reservation {
@@ -152,11 +196,15 @@ class DpWrapScheduler : public HostScheduler {
   void TickleAll();
   Vcpu* PickBestEffort(TimeNs now, Pcpu* pcpu);
   bool HasActiveSegment(const Vcpu* vcpu, TimeNs now) const;
-  int64_t ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period, bool admit);
+  int64_t ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs period, bool admit,
+                           int64_t reason = kBwReasonNone);
   // Periodic idle-tax accounting: adjusts tax factors from observed usage.
   void TaxTick();
   // Periodic watchdog scan: reclaims crashed-VM reservations.
   void WatchdogTick();
+  // Periodic overload scan: updates the pressure state from the watermarks
+  // and recent admission rejections, publishing it to every VM's page.
+  void OverloadTick();
 
   DpWrapConfig config_;
   Bandwidth capacity_;
@@ -181,6 +229,23 @@ class DpWrapScheduler : public HostScheduler {
   uint64_t replans_ = 0;
   uint64_t watchdog_reclaims_ = 0;
   uint64_t stale_rejections_ = 0;
+
+  // Overload-pressure state.
+  Simulator::EventId overload_event_;
+  bool pressure_ = false;
+  int64_t pressure_reason_ = 0;          // kPressure* while pressure_ is set.
+  uint64_t rejections_since_tick_ = 0;   // Admission rejections since last scan.
+  uint64_t pressure_raises_ = 0;
+  uint64_t pressure_clears_ = 0;
+  uint64_t shed_releases_ = 0;           // DEC_BW with kBwReasonOverloadShed.
+  uint64_t admission_rejections_ = 0;    // Lifetime kHypercallNoBandwidth count.
+  // Demand of recently rejected new registrations, withheld from the
+  // published headroom until `expires` (FIFO — holds expire in push order).
+  struct HeldDemand {
+    TimeNs expires = 0;
+    Bandwidth bw;
+  };
+  std::deque<HeldDemand> held_demand_;
 };
 
 }  // namespace rtvirt

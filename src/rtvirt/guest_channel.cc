@@ -35,6 +35,16 @@ bool RtvirtGuestChannel::degraded(const Vcpu* vcpu) const {
   return it != state_.end() && it->second.degraded;
 }
 
+Bandwidth RtvirtGuestChannel::GrantedBw(const Vcpu* vcpu) const {
+  auto it = state_.find(vcpu);
+  return it != state_.end() ? it->second.granted : Bandwidth::Zero();
+}
+
+TimeNs RtvirtGuestChannel::GrantedPeriod(const Vcpu* vcpu) const {
+  auto it = state_.find(vcpu);
+  return it != state_.end() ? it->second.granted_period : 0;
+}
+
 int64_t RtvirtGuestChannel::TryHypercall(Vcpu* caller, const HypercallArgs& args) {
   int64_t rc = machine_->Hypercall(caller, args);
   if (rc != kHypercallAgain) {
@@ -130,7 +140,8 @@ void RtvirtGuestChannel::RepairTick(Vcpu* vcpu, uint64_t generation) {
   vcpu->vm()->shared_page().PublishNextDeadline(vcpu->index(), st.cached_deadline);
 }
 
-int64_t RtvirtGuestChannel::RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+int64_t RtvirtGuestChannel::RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                                             int64_t reason) {
   VcpuState& st = StateOf(vcpu);
   Bandwidth padded = WithSlack(rta_bw, period);
 
@@ -153,6 +164,7 @@ int64_t RtvirtGuestChannel::RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeN
   args.vcpu_a = vcpu;
   args.bw_a = padded;
   args.period_a = period;
+  args.reason = reason;
   int64_t rc = TryHypercall(vcpu, args);
   if (rc == kHypercallOk) {
     st.rta_bw = rta_bw;
@@ -207,7 +219,8 @@ int64_t RtvirtGuestChannel::MoveBandwidth(Vcpu* to, Bandwidth to_bw, TimeNs to_p
   return rc;
 }
 
-void RtvirtGuestChannel::ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) {
+void RtvirtGuestChannel::ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                                          int64_t reason) {
   VcpuState& st = StateOf(vcpu);
   st.rta_bw = rta_bw;
   st.rta_period = period;
@@ -223,6 +236,7 @@ void RtvirtGuestChannel::ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs p
   args.vcpu_a = vcpu;
   args.bw_a = WithSlack(rta_bw, period);
   args.period_a = period;
+  args.reason = reason;
   int64_t rc = TryHypercall(vcpu, args);
   if (rc == kHypercallOk) {
     st.granted = args.bw_a;

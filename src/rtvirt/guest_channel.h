@@ -74,10 +74,12 @@ class RtvirtGuestChannel : public CrossLayerPolicy {
   explicit RtvirtGuestChannel(Machine* machine, GuestChannelOptions options = {})
       : machine_(machine), options_(options) {}
 
-  int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) override;
+  int64_t RequestBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                           int64_t reason = kBwReasonNone) override;
   int64_t MoveBandwidth(Vcpu* to, Bandwidth to_bw, TimeNs to_period, Vcpu* from,
                         Bandwidth from_bw, TimeNs from_period) override;
-  void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period) override;
+  void ReleaseBandwidth(Vcpu* vcpu, Bandwidth rta_bw, TimeNs period,
+                        int64_t reason = kBwReasonNone) override;
   void PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) override;
   void Reset() override;
 
@@ -91,6 +93,12 @@ class RtvirtGuestChannel : public CrossLayerPolicy {
 
   bool degraded(const Vcpu* vcpu) const;
   const ChannelStats& stats() const { return stats_; }
+
+  // Reservation the host last acknowledged for `vcpu` (zero if the channel
+  // never spoke for it). The invariant auditor compares this against both the
+  // guest's local admission total and the host scheduler's reservation table.
+  Bandwidth GrantedBw(const Vcpu* vcpu) const;
+  TimeNs GrantedPeriod(const Vcpu* vcpu) const;
 
  private:
   struct VcpuState {

@@ -60,6 +60,9 @@ Experiment::Experiment(ExperimentConfig config)
       }
     });
   }
+  if (config_.audit.enabled) {
+    auditor_ = std::make_unique<InvariantAuditor>(machine_.get(), dpwrap_, config_.audit);
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -78,6 +81,9 @@ GuestOs* Experiment::AddGuest(const std::string& name, int vcpus, GuestConfig gu
   }
   guests_.push_back(std::move(guest));
   channels_.push_back(channel);
+  if (auditor_ != nullptr) {
+    auditor_->WatchGuest(guests_.back().get(), channel);
+  }
   return guests_.back().get();
 }
 
@@ -127,6 +133,19 @@ ResilienceCounters Experiment::resilience() const {
   if (dpwrap_ != nullptr) {
     c.watchdog_reclaims = dpwrap_->watchdog_reclaims();
     c.stale_rejections = dpwrap_->stale_rejections();
+    c.pressure_raises = dpwrap_->pressure_raises();
+    c.pressure_clears = dpwrap_->pressure_clears();
+    c.admission_rejections = dpwrap_->admission_rejections();
+    c.shed_releases = dpwrap_->shed_releases();
+  }
+  for (const auto& g : guests_) {
+    const GuestOverloadStats& s = g->overload_stats();
+    c.compressions += s.compressions;
+    c.expansions += s.expansions;
+    c.sheds += s.sheds;
+    c.resumes += s.resumes;
+    c.shed_job_drops += s.shed_job_drops;
+    c.overload_admissions += s.overload_admissions;
   }
   return c;
 }
@@ -140,6 +159,9 @@ void Experiment::Run(TimeNs until) {
   if (!started_) {
     if (injector_ != nullptr) {
       injector_->Arm();  // All VMs exist by now.
+    }
+    if (auditor_ != nullptr) {
+      auditor_->Arm();
     }
     machine_->Start();
     started_ = true;

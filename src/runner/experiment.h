@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/invariant_auditor.h"
 #include "src/baselines/credit.h"
 #include "src/common/rng.h"
 #include "src/baselines/server_edf.h"
@@ -42,6 +43,9 @@ struct ExperimentConfig {
   // untouched. When active, Run() arms the injector on first call and wires
   // crash/restart handling to the guests (ResetAfterCrash / OnVmRestart).
   FaultPlan faults;
+  // Cross-layer invariant auditor; disabled by default (no auditor object is
+  // even created, and no events are scheduled).
+  AuditorConfig audit;
   uint64_t seed = 42;
 };
 
@@ -78,6 +82,8 @@ class Experiment {
 
   // Fault injection: null unless config.faults is active (armed on Run()).
   FaultInjector* fault_injector() const { return injector_.get(); }
+  // Invariant auditor: null unless config.audit.enabled (armed on Run()).
+  InvariantAuditor* auditor() const { return auditor_.get(); }
   // The cross-layer channel of `guest` (null unless framework is RTVirt).
   RtvirtGuestChannel* ChannelOf(const GuestOs* guest) const;
   // Aggregates injector, per-guest channel, and host watchdog counters.
@@ -93,6 +99,7 @@ class Experiment {
   std::vector<std::unique_ptr<GuestOs>> guests_;
   std::vector<RtvirtGuestChannel*> channels_;  // Parallel to guests_ (may hold nulls).
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<InvariantAuditor> auditor_;
   Rng rng_;
   bool started_ = false;
 };

@@ -1,7 +1,8 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace rtvirt {
 
@@ -16,7 +17,9 @@ EventQueue::EventId EventQueue::Schedule(TimeNs when, Callback cb) {
 void EventQueue::Cancel(EventId& id) {
   if (id.node_ != nullptr && !id.node_->cancelled && id.node_->callback != nullptr) {
     id.node_->cancelled = true;
-    assert(live_count_ > 0);
+    RTVIRT_CHECK(live_count_ > 0,
+                 "event-queue live count underflow on cancel (seq counter at %llu)",
+                 static_cast<unsigned long long>(next_seq_));
     --live_count_;
   }
   id.node_.reset();
@@ -35,7 +38,8 @@ TimeNs EventQueue::NextTime() const {
 
 EventQueue::Fired EventQueue::PopNext() {
   SkimCancelled();
-  assert(!heap_.empty());
+  RTVIRT_CHECK(!heap_.empty(), "PopNext on an empty event queue (live count %llu)",
+               static_cast<unsigned long long>(live_count_));
   HeapEntry entry = heap_.top();
   heap_.pop();
   --live_count_;

@@ -1,19 +1,24 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace rtvirt {
 
 Simulator::EventId Simulator::At(TimeNs when, Callback cb) {
-  assert(when >= now_);
+  RTVIRT_CHECK(when >= now_,
+               "event scheduled in the past: when=%lld ns < now=%lld ns",
+               static_cast<long long>(when), static_cast<long long>(now_));
   return queue_.Schedule(when, std::move(cb));
 }
 
 void Simulator::RunUntil(TimeNs end) {
   while (!queue_.empty() && queue_.NextTime() <= end) {
     EventQueue::Fired fired = queue_.PopNext();
-    assert(fired.time >= now_);
+    RTVIRT_CHECK(fired.time >= now_,
+                 "event fired in the past: time=%lld ns < now=%lld ns",
+                 static_cast<long long>(fired.time), static_cast<long long>(now_));
     now_ = fired.time;
     ++events_processed_;
     fired.callback();
@@ -26,7 +31,9 @@ void Simulator::RunUntil(TimeNs end) {
 void Simulator::RunAll() {
   while (!queue_.empty()) {
     EventQueue::Fired fired = queue_.PopNext();
-    assert(fired.time >= now_);
+    RTVIRT_CHECK(fired.time >= now_,
+                 "event fired in the past: time=%lld ns < now=%lld ns",
+                 static_cast<long long>(fired.time), static_cast<long long>(now_));
     now_ = fired.time;
     ++events_processed_;
     fired.callback();

@@ -13,7 +13,8 @@ void ChurnDriver::Start() {
   Simulator* sim = guest_->vm()->machine()->sim();
   for (int slot = 0; slot < guest_->num_vcpus(); ++slot) {
     // Stagger chain starts so registrations don't all land at t=0.
-    sim->After(rng_.UniformTime(0, config_.max_gap), [this, slot] { NextEpisode(slot); });
+    sim->After(config_.start_at + rng_.UniformTime(0, config_.max_gap),
+               [this, slot] { NextEpisode(slot); });
   }
 }
 
@@ -38,8 +39,16 @@ void ChurnDriver::NextEpisode(int slot) {
     idle_tasks_.push_back(idle);
   } else {
     int fps = kVlcProfiles[rng_.UniformInt(0, kVlcProfiles.size() - 1)].fps;
-    auto rta = std::make_unique<PeriodicRta>(guest_, name, VlcParams(fps));
+    RtaParams params = config_.profile.has_value() ? *config_.profile : VlcParams(fps);
+    params.criticality = config_.criticality;
+    if (config_.elastic_min_fraction < 1.0) {
+      params.min_slice = std::max<TimeNs>(
+          1, static_cast<TimeNs>(static_cast<double>(params.slice) *
+                                 config_.elastic_min_fraction));
+    }
+    auto rta = std::make_unique<PeriodicRta>(guest_, name, params);
     rta->task()->set_observer(observer_);
+    rta->set_admission_retry(config_.admission_retry);
     rta->Start(now, stop);
     ++rtas_started_;
     // Admission happens synchronously for an immediate start.

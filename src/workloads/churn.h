@@ -9,6 +9,7 @@
 #define SRC_WORKLOADS_CHURN_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -25,6 +26,19 @@ struct ChurnConfig {
   double idle_prob = 0.2;       // Probability an episode is an idle reservation.
   TimeNs idle_slice = Ms(1);    // Idle reservation: 10% of a CPU.
   TimeNs idle_period = Ms(10);
+
+  // ---- Overload-experiment knobs (defaults leave behavior unchanged) ----
+  // Delay before the per-slot episode chains start (on top of the random
+  // stagger); lets a bench ramp demand up in waves.
+  TimeNs start_at = 0;
+  // Criticality stamped onto every spawned RTA.
+  Criticality criticality = Criticality::kMed;
+  // < 1.0 makes spawned RTAs elastic: min_slice = slice * fraction.
+  double elastic_min_fraction = 1.0;
+  // Fixed RTA parameters instead of the randomized VLC profiles.
+  std::optional<RtaParams> profile;
+  // Passed through to PeriodicRta::set_admission_retry (0 = fail once).
+  TimeNs admission_retry = 0;
 };
 
 class ChurnDriver {

@@ -21,10 +21,15 @@ void PeriodicRta::Start(TimeNs start, TimeNs stop) {
 
 void PeriodicRta::Register() {
   Simulator* sim = guest_->vm()->machine()->sim();
+  ++admission_attempts_;
   admission_result_ = guest_->SchedSetAttr(task_, params_);
   if (admission_result_ != kGuestOk) {
+    if (admission_retry_ > 0 && sim->Now() + admission_retry_ < stop_) {
+      sim->After(admission_retry_, [this] { Register(); });
+    }
     return;
   }
+  admitted_at_ = sim->Now();
   task_->set_next_release(sim->Now());
   ReleaseOne();
 }

@@ -26,6 +26,15 @@ class PeriodicRta {
   int admission_result() const { return admission_result_; }
   const RtaParams& params() const { return params_; }
 
+  // When > 0, a failed registration is retried every `interval` until it
+  // succeeds or `stop` passes (modelling an application that keeps knocking
+  // under overload instead of giving up). Default 0: fail once, stay out.
+  void set_admission_retry(TimeNs interval) { admission_retry_ = interval; }
+  // Registration attempts made (1 for an immediate success).
+  int admission_attempts() const { return admission_attempts_; }
+  // Time of the first successful registration; kTimeNever if never admitted.
+  TimeNs admitted_at() const { return admitted_at_; }
+
  private:
   void Register();
   void ReleaseOne();
@@ -35,6 +44,9 @@ class PeriodicRta {
   RtaParams params_;
   TimeNs stop_ = 0;
   int admission_result_ = kGuestErrInvalid;
+  TimeNs admission_retry_ = 0;
+  int admission_attempts_ = 0;
+  TimeNs admitted_at_ = kTimeNever;
   Simulator::EventId release_event_;
 };
 

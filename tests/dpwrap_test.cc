@@ -239,5 +239,41 @@ TEST_P(DpWrapOptimalityTest, NoMissesAtFullUtilization) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DpWrapOptimalityTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 111));
 
+// Admission boundary around the rounding epsilon: the check rejects only
+// when the admitted total exceeds capacity + epsilon strictly, so a total
+// landing exactly on the limit (or epsilon - 1 ppb above capacity) is
+// admitted, and one more ppb is not.
+class DpWrapEpsilonBoundary : public ::testing::Test {
+ protected:
+  // Fills capacity exactly, then requests `extra_ppb` more on a second VCPU.
+  int64_t AdmitBeyondCapacity(int64_t extra_ppb) {
+    Experiment exp(PureConfig(1));
+    GuestOs* g = exp.AddGuest("vm", 2);
+    HypercallArgs args;
+    args.op = SchedOp::kIncBw;
+    args.vcpu_a = g->vm()->vcpu(0);
+    args.bw_a = Bandwidth::One();
+    args.period_a = Ms(10);
+    EXPECT_EQ(exp.machine().Hypercall(args.vcpu_a, args), kHypercallOk);
+    args.vcpu_a = g->vm()->vcpu(1);
+    args.bw_a = Bandwidth::FromPpb(extra_ppb);
+    return exp.machine().Hypercall(args.vcpu_a, args);
+  }
+
+  static inline const int64_t kEpsilon = DpWrapConfig{}.admission_epsilon_ppb;
+};
+
+TEST_F(DpWrapEpsilonBoundary, ExactlyAtCapacityPlusEpsilonAdmits) {
+  EXPECT_EQ(AdmitBeyondCapacity(kEpsilon), kHypercallOk);
+}
+
+TEST_F(DpWrapEpsilonBoundary, OnePpbBelowTheLimitAdmits) {
+  EXPECT_EQ(AdmitBeyondCapacity(kEpsilon - 1), kHypercallOk);
+}
+
+TEST_F(DpWrapEpsilonBoundary, OnePpbAboveTheLimitRejects) {
+  EXPECT_EQ(AdmitBeyondCapacity(kEpsilon + 1), kHypercallNoBandwidth);
+}
+
 }  // namespace
 }  // namespace rtvirt

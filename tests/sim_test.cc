@@ -109,6 +109,21 @@ TEST(Simulator, EventsCanScheduleEvents) {
   EXPECT_EQ(sim.events_processed(), 10u);
 }
 
+// The event-ordering invariants are RTVIRT_CHECKs: active in every build
+// type (not compiled out under NDEBUG), fatal on violation.
+TEST(SimulatorDeathTest, SchedulingAnEventInThePastIsFatal) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.RunAll();
+  ASSERT_EQ(sim.Now(), 100);
+  EXPECT_DEATH(sim.At(50, [] {}), "event scheduled in the past");
+}
+
+TEST(SimulatorDeathTest, PoppingAnEmptyQueueIsFatal) {
+  EventQueue q;
+  EXPECT_DEATH(q.PopNext(), "empty event queue");
+}
+
 TEST(Simulator, AfterZeroRunsAtSameTimeInOrder) {
   Simulator sim;
   std::vector<int> order;

@@ -173,5 +173,38 @@ TEST(Churn, RejectedEpisodesReleaseNoBandwidth) {
   EXPECT_EQ(exp.dpwrap()->total_reserved(), Bandwidth::Zero());
 }
 
+// The tier knobs (fixed profile, criticality, elastic minimum, staggered
+// start, admission retry) propagate from ChurnConfig to every spawned RTA.
+TEST(ChurnWorkload, TierKnobsPropagateToRtas) {
+  Experiment exp(RtvirtConfig(2));
+  GuestOs* g = exp.AddGuest("vm", 2);
+  ChurnConfig ccfg;
+  ccfg.experiment_len = Sec(2);
+  ccfg.min_episode = Sec(5);  // One episode per slot, capped at the window.
+  ccfg.max_episode = Sec(5);
+  ccfg.max_gap = Ms(100);
+  ccfg.idle_prob = 0.0;
+  ccfg.start_at = Ms(200);
+  ccfg.criticality = Criticality::kHigh;
+  ccfg.elastic_min_fraction = 0.5;
+  ccfg.profile = RtaParams{Ms(2), Ms(10)};
+  ccfg.admission_retry = Ms(50);
+  ChurnDriver churn(g, ccfg, exp.rng().Fork(), nullptr);
+  churn.Start();
+  exp.sim().At(Ms(150), [&churn] {
+    // Staggering is offset by start_at: nothing registers before it.
+    EXPECT_EQ(churn.rtas_started(), 0);
+  });
+  exp.Run(Sec(2) + Ms(100));
+  ASSERT_GT(churn.rtas_started(), 0);
+  for (const auto& rta : churn.rtas()) {
+    EXPECT_EQ(rta->params().slice, Ms(2));
+    EXPECT_EQ(rta->params().period, Ms(10));
+    EXPECT_EQ(rta->params().criticality, Criticality::kHigh);
+    EXPECT_EQ(rta->params().min_slice, Ms(1));
+    EXPECT_GE(rta->admission_attempts(), 1);
+  }
+}
+
 }  // namespace
 }  // namespace rtvirt
