@@ -1,0 +1,156 @@
+// Randomized multi-seed PCPU-fault soak (robustness PR, CI weekly job).
+//
+// Each seed derives a fresh random fault plan — transient core outages,
+// frequency throttles, and the occasional permanent failure, laid out
+// non-overlapping per core so FaultPlan::Validate accepts it — and drives a
+// churned two-tier workload through it with the full recovery stack enabled
+// (pcpu_recovery + overload renegotiation + invariant auditor). The process
+// exits nonzero if any seed ends with audit violations, an unarmed auditor,
+// or a fault path that never fired; RTVIRT_CHECK failures abort outright.
+// Under ASan/UBSan (the CI configuration) this doubles as a memory/UB sweep
+// over the whole evacuation/re-plan/renegotiation machinery.
+//
+// RTVIRT_SOAK_SEEDS overrides the seed count (default 5 keeps a local run
+// in seconds; the weekly job raises it).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/resilience.h"
+#include "src/workloads/churn.h"
+
+namespace rtvirt::bench {
+namespace {
+
+constexpr TimeNs kRun = Sec(6);
+constexpr int kPcpus = 4;
+
+// A random but always-valid plan: per core, an ordered walk of the run
+// leaves every generated window disjoint from its predecessors by
+// construction. Core 0 is never faulted so the machine always retains
+// capacity to renegotiate over.
+FaultPlan RandomPlan(uint64_t seed) {
+  Rng rng(seed * 7919 + 17);
+  FaultPlan plan;
+  plan.seed = seed;
+  for (int core = 1; core < kPcpus; ++core) {
+    TimeNs cursor = rng.UniformTime(Ms(200), Sec(1));
+    while (cursor < kRun - Sec(1)) {
+      FaultPlan::PcpuFault f;
+      f.pcpu = core;
+      f.at = cursor;
+      double roll = rng.Uniform(0.0, 1.0);
+      if (roll < 0.1) {
+        f.kind = FaultPlan::PcpuFault::Kind::kPermanentFailure;
+        plan.pcpu_faults.push_back(f);
+        break;  // Nothing may follow a permanent failure on this core.
+      }
+      TimeNs len = rng.UniformTime(Ms(300), Sec(2));
+      f.until = std::min(cursor + len, kRun + Sec(1));
+      if (roll < 0.5) {
+        f.kind = FaultPlan::PcpuFault::Kind::kTransientOffline;
+      } else {
+        f.kind = FaultPlan::PcpuFault::Kind::kDegrade;
+        f.speed = rng.Uniform(0.3, 0.9);
+      }
+      plan.pcpu_faults.push_back(f);
+      cursor = f.until + rng.UniformTime(Ms(200), Sec(1));
+    }
+  }
+  return plan;
+}
+
+struct SoakResult {
+  ResilienceCounters rc;
+  size_t planned_faults = 0;
+  bool ok = false;
+  std::string why;
+};
+
+SoakResult SoakOne(uint64_t seed) {
+  ExperimentConfig cfg = Config(Framework::kRtvirt, kPcpus);
+  cfg.seed = seed;
+  cfg.dpwrap.pcpu_recovery.enabled = true;
+  cfg.dpwrap.overload.enabled = true;
+  cfg.audit.enabled = true;
+  cfg.machine.evacuation_penalty = Us(150);
+  cfg.faults = RandomPlan(seed);
+
+  Experiment exp(cfg);
+  GuestConfig gcfg;
+  gcfg.overload.enabled = true;
+  GuestOs* hi = exp.AddGuest("hi", 6, gcfg);
+  GuestOs* lo = exp.AddGuest("lo", 4, gcfg);
+
+  ChurnConfig hi_cfg;
+  hi_cfg.experiment_len = kRun;
+  hi_cfg.criticality = Criticality::kHigh;
+  hi_cfg.profile = RtaParams{Us(2250), Ms(10)};
+  hi_cfg.admission_retry = Ms(50);
+  ChurnConfig lo_cfg = hi_cfg;
+  lo_cfg.criticality = Criticality::kLow;
+  lo_cfg.profile = RtaParams{Us(4500), Ms(10)};
+  lo_cfg.elastic_min_fraction = 0.5;
+  DeadlineMonitor hi_mon, lo_mon;
+  ChurnDriver hi_churn(hi, hi_cfg, Rng(seed * 31 + 5), &hi_mon);
+  ChurnDriver lo_churn(lo, lo_cfg, Rng(seed * 31 + 6), &lo_mon);
+  hi_churn.Start();
+  lo_churn.Start();
+  exp.Run(kRun);
+
+  SoakResult r;
+  r.rc = exp.resilience();
+  r.planned_faults = cfg.faults.pcpu_faults.size();
+  if (exp.auditor() == nullptr || r.rc.audit_checks == 0) {
+    r.why = "auditor never ran";
+  } else if (r.rc.audit_violations > 0) {
+    r.why = "audit violations";
+    for (const AuditViolation& v : exp.auditor()->violations()) {
+      std::cout << "  violation @" << v.time << " ns [" << v.invariant << "] " << v.detail
+                << "\n";
+    }
+  } else if (r.planned_faults > 0 &&
+             r.rc.pcpu_offline_events + r.rc.pcpu_degrade_events == 0) {
+    r.why = "planned faults never fired";
+  } else {
+    r.ok = true;
+  }
+  return r;
+}
+
+int Soak() {
+  int seeds = 5;
+  if (const char* env = std::getenv("RTVIRT_SOAK_SEEDS")) {
+    seeds = std::atoi(env);
+  }
+  Header("Randomized PCPU-fault soak: recovery + audit across " +
+         std::to_string(seeds) + " seeds");
+  TablePrinter table({"seed", "faults", "evac", "replans", "sheds", "resumes", "audit",
+                      "result"});
+  int failures = 0;
+  for (int s = 1; s <= seeds; ++s) {
+    SoakResult r = SoakOne(static_cast<uint64_t>(s));
+    if (!r.ok) {
+      ++failures;
+    }
+    table.AddRow({std::to_string(s), std::to_string(r.planned_faults),
+                  std::to_string(r.rc.pcpu_evacuations),
+                  std::to_string(r.rc.capacity_replans), std::to_string(r.rc.sheds),
+                  std::to_string(r.rc.resumes),
+                  std::to_string(r.rc.audit_violations) + "/" +
+                      std::to_string(r.rc.audit_checks),
+                  r.ok ? "ok" : r.why});
+  }
+  table.Print(std::cout);
+  std::cout << "check: " << (seeds - failures) << "/" << seeds
+            << " seeds clean => " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rtvirt::bench
+
+int main() { return rtvirt::bench::Soak(); }

@@ -49,10 +49,23 @@ size_t InvariantAuditor::CheckNow() {
   TimeNs now = machine_->sim()->Now();
   char buf[256];
 
-  // Host scheduler: totals, conservation, plan geometry, carry bounds.
+  // Host scheduler: totals, conservation, plan geometry, carry bounds (and,
+  // under pcpu_recovery, plan sums against *effective* capacity).
   if (dpwrap_ != nullptr) {
     for (std::string& d : dpwrap_->AuditPlan()) {
       Record("host-plan", std::move(d));
+    }
+  }
+
+  // PCPU capacity state: an offline core must never be executing anyone.
+  // Machine::SetPcpuOnline revokes synchronously, so a dispatched VCPU here
+  // means the evacuation path lost someone.
+  for (int i = 0; i < machine_->num_pcpus(); ++i) {
+    const Pcpu* p = machine_->pcpu(i);
+    if (!p->online() && p->current() != nullptr) {
+      std::snprintf(buf, sizeof(buf), "pcpu %d is offline but vcpu %d is dispatched on it",
+                    i, p->current()->global_id());
+      Record("pcpu-state", buf);
     }
   }
 

@@ -11,6 +11,8 @@
 //   host   - reservation totals consistent and within capacity (+epsilon),
 //            plan segments inside the slice and disjoint, per-VCPU supply
 //            bounded by the reservation plus carry backlog (AuditPlan);
+//   pcpu   - an offline core never has a VCPU dispatched on it (the
+//            SetPcpuOnline evacuation path must never lose anyone);
 //   guest  - per-VCPU admitted bandwidth equals the sum of pinned effective
 //            bandwidths and fits the VCPU capacity; shed tasks hold no pin
 //            or queued jobs (GuestOs::AuditInvariants);
@@ -52,8 +54,8 @@ struct AuditorConfig {
 
 struct AuditViolation {
   TimeNs time = 0;         // Simulation time of the failed check.
-  std::string invariant;   // Category: host-plan, guest-state, guest-grant,
-                           // grant-host, page-time.
+  std::string invariant;   // Category: host-plan, pcpu-state, guest-state,
+                           // guest-grant, grant-host, page-time.
   std::string detail;      // Human-readable diagnostic.
 };
 

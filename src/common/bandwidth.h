@@ -75,6 +75,31 @@ class Bandwidth {
   int64_t ppb_ = 0;
 };
 
+// Capacity-degradation conversions (PCPU fault model): a core running at
+// `speed_ppb` (Bandwidth::kUnit = full speed) makes speed_ppb/kUnit useful ns
+// of progress per wall-clock ns. Work→wall rounds up (never under-schedule a
+// job), wall→work rounds down (never over-credit progress); both are exact
+// identities at full speed, keeping healthy-machine arithmetic bit-for-bit
+// unchanged. floor(ceil(w*K/s)*s/K) == w for 0 < s <= K, so a completion
+// timer set via SpeedWorkToWall banks exactly `work` via SpeedWallToWork.
+constexpr TimeNs SpeedWorkToWall(TimeNs work, int64_t speed_ppb) {
+  assert(speed_ppb > 0);
+  if (speed_ppb == Bandwidth::kUnit) {
+    return work;
+  }
+  using Wide = __int128;
+  return static_cast<TimeNs>(
+      (static_cast<Wide>(work) * Bandwidth::kUnit + speed_ppb - 1) / speed_ppb);
+}
+
+constexpr TimeNs SpeedWallToWork(TimeNs wall, int64_t speed_ppb) {
+  if (speed_ppb == Bandwidth::kUnit) {
+    return wall;
+  }
+  using Wide = __int128;
+  return static_cast<TimeNs>(static_cast<Wide>(wall) * speed_ppb / Bandwidth::kUnit);
+}
+
 }  // namespace rtvirt
 
 #endif  // SRC_COMMON_BANDWIDTH_H_

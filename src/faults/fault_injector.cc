@@ -1,11 +1,80 @@
 #include "src/faults/fault_injector.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace rtvirt {
 
+namespace {
+
+std::string Entry(const char* field, size_t i, const char* what, long long a, long long b) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s[%zu]: %s (%lld, %lld)", field, i, what, a, b);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::Validate(int num_pcpus) const {
+  for (size_t i = 0; i < hypercall_outages.size(); ++i) {
+    const Outage& o = hypercall_outages[i];
+    if (o.start < 0 || o.end <= o.start) {
+      return Entry("hypercall_outages", i, "empty or negative duration", o.start, o.end);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      const Outage& p = hypercall_outages[j];
+      if (o.start < p.end && p.start < o.end) {
+        return Entry("hypercall_outages", i, "overlaps earlier window at index",
+                     static_cast<long long>(j), p.end);
+      }
+    }
+  }
+  for (size_t i = 0; i < vm_failures.size(); ++i) {
+    const VmFailure& f = vm_failures[i];
+    if (f.crash_at < 0 || f.restart_at <= f.crash_at) {
+      return Entry("vm_failures", i, "restart precedes crash or negative crash time",
+                   f.crash_at, f.restart_at);
+    }
+  }
+  for (size_t i = 0; i < pcpu_faults.size(); ++i) {
+    const PcpuFault& f = pcpu_faults[i];
+    if (f.pcpu < 0 || f.pcpu >= num_pcpus) {
+      return Entry("pcpu_faults", i, "pcpu id out of range for machine size",
+                   f.pcpu, num_pcpus);
+    }
+    bool windowed = f.kind != PcpuFault::Kind::kPermanentFailure;
+    if (f.at < 0 || (windowed && f.until <= f.at)) {
+      return Entry("pcpu_faults", i, "empty or negative duration", f.at, f.until);
+    }
+    if (f.kind == PcpuFault::Kind::kDegrade && (f.speed <= 0.0 || f.speed > 1.0)) {
+      return Entry("pcpu_faults", i, "degrade speed outside (0, 1] (speed*1e6, _)",
+                   static_cast<long long>(f.speed * 1e6), 0);
+    }
+    // Two events on the same core must not overlap in time: a permanent
+    // failure extends to forever, so nothing may follow it on that core.
+    TimeNs end_i = f.kind == PcpuFault::Kind::kPermanentFailure ? kTimeNever : f.until;
+    for (size_t j = 0; j < i; ++j) {
+      const PcpuFault& p = pcpu_faults[j];
+      if (p.pcpu != f.pcpu) {
+        continue;
+      }
+      TimeNs end_j = p.kind == PcpuFault::Kind::kPermanentFailure ? kTimeNever : p.until;
+      if (f.at < end_j && p.at < end_i) {
+        return Entry("pcpu_faults", i, "overlaps earlier fault on same pcpu at index",
+                     static_cast<long long>(j), p.at);
+      }
+    }
+  }
+  return std::string();
+}
+
 FaultInjector::FaultInjector(Machine* machine, FaultPlan plan)
-    : machine_(machine), plan_(std::move(plan)), rng_(plan_.seed) {}
+    : machine_(machine), plan_(std::move(plan)), rng_(plan_.seed) {
+  std::string err = plan_.Validate(machine_->num_pcpus());
+  RTVIRT_CHECK(err.empty(), "invalid FaultPlan: %s", err.c_str());
+}
 
 bool FaultInjector::InOutage(TimeNs now) const {
   for (const FaultPlan::Outage& o : plan_.hypercall_outages) {
@@ -79,6 +148,41 @@ void FaultInjector::Arm() {
           h(vm);
         }
       });
+    }
+  }
+  for (const FaultPlan::PcpuFault& f : plan_.pcpu_faults) {
+    int id = f.pcpu;  // Validated against the machine in the constructor.
+    switch (f.kind) {
+      case FaultPlan::PcpuFault::Kind::kPermanentFailure:
+        sim->At(f.at, [this, id] {
+          machine_->SetPcpuOnline(id, false);
+          ++stats_.pcpu_offline_events;
+        });
+        break;
+      case FaultPlan::PcpuFault::Kind::kTransientOffline:
+        sim->At(f.at, [this, id] {
+          machine_->SetPcpuOnline(id, false);
+          ++stats_.pcpu_offline_events;
+        });
+        sim->At(f.until, [this, id] {
+          machine_->SetPcpuOnline(id, true);
+          ++stats_.pcpu_online_events;
+        });
+        break;
+      case FaultPlan::PcpuFault::Kind::kDegrade: {
+        double speed = f.speed;
+        sim->At(f.at, [this, id, speed] {
+          machine_->SetPcpuSpeed(id, speed);
+          ++stats_.pcpu_degrade_events;
+        });
+        if (f.until < kTimeNever) {
+          sim->At(f.until, [this, id] {
+            machine_->SetPcpuSpeed(id, 1.0);
+            ++stats_.pcpu_heal_events;
+          });
+        }
+        break;
+      }
     }
   }
 }

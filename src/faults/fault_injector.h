@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -62,11 +63,39 @@ struct FaultPlan {
   };
   std::vector<VmFailure> vm_failures;
 
+  // ---- (d) PCPU faults (capacity-degradation model) ----
+  // Seeded, deterministic host-core events driven through
+  // Machine::SetPcpuOnline / SetPcpuSpeed. Whether anyone *recovers* from
+  // them is the scheduler's business (DpWrapConfig::pcpu_recovery); the
+  // injector only makes the hardware misbehave on schedule.
+  struct PcpuFault {
+    enum class Kind {
+      kPermanentFailure,  // Core offline at `at`, never returns (until ignored).
+      kTransientOffline,  // Hotplug window: offline over [at, until).
+      kDegrade,           // Frequency throttle to `speed` over [at, until);
+                          // until = kTimeNever keeps it throttled forever.
+    };
+    Kind kind = Kind::kPermanentFailure;
+    int pcpu = 0;
+    TimeNs at = 0;
+    TimeNs until = kTimeNever;
+    double speed = 0.5;  // kDegrade only; must be in (0, 1].
+  };
+  std::vector<PcpuFault> pcpu_faults;
+
   bool active() const {
     return hypercall_fail_prob > 0 || hypercall_drop_prob > 0 ||
            hypercall_spike_prob > 0 || !hypercall_outages.empty() ||
-           shared_page_visibility_delay > 0 || !vm_failures.empty();
+           shared_page_visibility_delay > 0 || !vm_failures.empty() ||
+           !pcpu_faults.empty();
   }
+
+  // Structural validation, run by the FaultInjector constructor (which
+  // RTVIRT_CHECKs the result): rejects overlapping outage windows, negative
+  // or empty durations, out-of-range PCPU ids, bad degrade speeds, and VM
+  // restarts that precede their crash. Returns an empty string when valid,
+  // else a message naming the offending entry.
+  std::string Validate(int num_pcpus) const;
 };
 
 struct FaultStats {
@@ -77,6 +106,11 @@ struct FaultStats {
   uint64_t outage_failures = 0;      // Calls failed inside an outage window.
   uint64_t vm_crashes = 0;
   uint64_t vm_restarts = 0;
+  // PCPU fault events actually fired (paired per transient/degrade window).
+  uint64_t pcpu_offline_events = 0;  // Permanent failures + transient offlines.
+  uint64_t pcpu_online_events = 0;   // Re-onlines closing transient windows.
+  uint64_t pcpu_degrade_events = 0;  // Throttle applications.
+  uint64_t pcpu_heal_events = 0;     // Full speed restored.
 
   uint64_t TotalHypercallFaults() const {
     return injected_failures + injected_drops + outage_failures;

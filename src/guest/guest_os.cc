@@ -191,10 +191,13 @@ void GuestOs::StartRunning(VcpuRun& vr, Task* task) {
   assert(vr.on_cpu && vr.running == nullptr);
   vr.running = task;
   vr.run_start = sim()->Now();
+  Pcpu* p = vr.vcpu->pcpu();
+  vr.run_speed_ppb = p != nullptr ? p->speed_ppb() : Bandwidth::kUnit;
   if (task->is_rta()) {
     Vcpu* v = vr.vcpu;
     vr.completion_event =
-        sim()->After(task->FrontJob().remaining, [this, v] { OnJobCompletion(RunOf(v)); });
+        sim()->After(SpeedWorkToWall(task->FrontJob().remaining, vr.run_speed_ppb),
+                     [this, v] { OnJobCompletion(RunOf(v)); });
   }
   // Background tasks have unbounded work: no completion event.
 }
@@ -211,7 +214,7 @@ void GuestOs::SuspendRunning(VcpuRun& vr) {
   }
   TimeNs ran = sim()->Now() - vr.run_start;
   Job& job = t->MutableFrontJob();
-  job.remaining -= ran;
+  job.remaining -= SpeedWallToWork(ran, vr.run_speed_ppb);
   assert(job.remaining >= 0);
   if (job.remaining == 0) {
     // The revocation landed exactly at job completion (e.g., the host slice
@@ -235,7 +238,7 @@ void GuestOs::OnJobCompletion(VcpuRun& vr) {
   Task* t = vr.running;
   assert(t != nullptr && t->is_rta());
   Job& job = t->MutableFrontJob();
-  job.remaining -= sim()->Now() - vr.run_start;
+  job.remaining -= SpeedWallToWork(sim()->Now() - vr.run_start, vr.run_speed_ppb);
   assert(job.remaining == 0);
   vr.running = nullptr;
   vr.completion_event = Simulator::EventId();

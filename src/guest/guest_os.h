@@ -165,6 +165,10 @@ class GuestOs : public VcpuClient {
     bool on_cpu = false;  // Granted a PCPU right now.
     Task* running = nullptr;
     TimeNs run_start = 0;
+    // Speed factor of the PCPU this run started on (capacity-degradation
+    // model). The host revokes before any speed change, so it is constant for
+    // the whole run: wall time stretches by 1/speed, progress banks at speed.
+    int64_t run_speed_ppb = Bandwidth::kUnit;
     Simulator::EventId completion_event;
   };
 

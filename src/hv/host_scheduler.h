@@ -44,8 +44,18 @@ class HostScheduler {
   virtual void VcpuBlock(Vcpu* vcpu) = 0;
 
   // Pick what `pcpu` runs next, starting now. The machine re-invokes this at
-  // `run_until`, or earlier if the PCPU is tickled.
+  // `run_until`, or earlier if the PCPU is tickled. Never called for an
+  // offline PCPU.
   virtual ScheduleDecision PickNext(Pcpu* pcpu) = 0;
+
+  // A PCPU's capacity just changed: it went offline/online or its speed
+  // factor moved (Machine::SetPcpuOnline / SetPcpuSpeed). Invoked after the
+  // machine state is updated and any dispatched VCPU was revoked, before the
+  // survivors are tickled. Capacity-aware schedulers re-plan here; the
+  // default ignores the event (a frozen-layout scheduler keeps planning
+  // against nominal capacity and simply loses whatever it lays onto dead or
+  // slowed cores).
+  virtual void PcpuCapacityChanged(Pcpu* pcpu) { (void)pcpu; }
 
   // Notification that `vcpu` just executed for `ran` ns (budget accounting).
   virtual void AccountRun(Vcpu* vcpu, TimeNs ran) { (void)vcpu, (void)ran; }

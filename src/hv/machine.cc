@@ -60,6 +60,78 @@ int64_t Machine::Hypercall(Vcpu* caller, const HypercallArgs& args) {
   return scheduler_->Hypercall(caller, args);
 }
 
+void Machine::SetPcpuOnline(int pcpu, bool online) {
+  Pcpu* p = pcpus_[pcpu].get();
+  if (p->online_ == online) {
+    return;
+  }
+  if (!online) {
+    // Mark dead first: any reschedule the revocation callbacks request on
+    // this core collapses into a no-op instead of re-dispatching onto it.
+    p->online_ = false;
+    Vcpu* evacuated = p->current();
+    p->StopCurrent();
+    if (evacuated != nullptr) {
+      ++pcpu_evacuations_;
+      ++evacuated->evacuations_;
+      evacuated->evacuation_penalty_ += config_.evacuation_penalty;
+    }
+    if (scheduler_ != nullptr) {
+      scheduler_->PcpuCapacityChanged(p);
+    }
+    // The evacuated (and any planned-but-stranded) VCPUs need a new home;
+    // physically this is the offline IPI every survivor observes.
+    for (auto& q : pcpus_) {
+      if (q->online_) {
+        q->RequestReschedule();
+      }
+    }
+    return;
+  }
+  p->online_ = true;
+  if (scheduler_ != nullptr) {
+    scheduler_->PcpuCapacityChanged(p);
+  }
+  p->RequestReschedule();
+}
+
+void Machine::SetPcpuSpeed(int pcpu, double speed) {
+  assert(speed > 0.0 && speed <= 1.0);
+  Pcpu* p = pcpus_[pcpu].get();
+  int64_t ppb = static_cast<int64_t>(speed * static_cast<double>(Bandwidth::kUnit) + 0.5);
+  if (ppb == p->speed_ppb_) {
+    return;
+  }
+  // Revoke before switching so every grant executes at one constant speed —
+  // the guest banks its progress at the rate the work actually ran at.
+  p->StopCurrent();
+  p->speed_ppb_ = ppb;
+  if (scheduler_ != nullptr) {
+    scheduler_->PcpuCapacityChanged(p);
+  }
+  if (p->online_) {
+    p->RequestReschedule();
+  }
+}
+
+Bandwidth Machine::EffectiveCapacity() const {
+  int64_t ppb = 0;
+  for (const auto& p : pcpus_) {
+    if (p->online_) {
+      ppb += p->speed_ppb_;
+    }
+  }
+  return Bandwidth::FromPpb(ppb);
+}
+
+int Machine::num_online_pcpus() const {
+  int n = 0;
+  for (const auto& p : pcpus_) {
+    n += p->online_ ? 1 : 0;
+  }
+  return n;
+}
+
 void Machine::CrashVm(Vm* vm) {
   if (vm->crashed_) {
     return;

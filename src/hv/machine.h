@@ -30,6 +30,12 @@ struct MachineConfig {
   TimeNs migration_cost = 3000;  // 3 us.
   // Cost of one sched_rtvirt() hypercall (paper section 4.5: ~10 us).
   TimeNs hypercall_cost = 10000;
+  // One-shot penalty charged (on top of the migration cost) when a VCPU is
+  // next dispatched after its PCPU failed under it: register/lazy-FPU state
+  // salvage and cold everything on the rescuing core. Benches derive it from
+  // cluster/migration_model's stop-and-copy estimate for the VCPU's hot
+  // working set. 0 (the default) keeps evacuations at plain migration cost.
+  TimeNs evacuation_penalty = 0;
 };
 
 class Machine {
@@ -52,6 +58,25 @@ class Machine {
 
   int num_pcpus() const { return static_cast<int>(pcpus_.size()); }
   Pcpu* pcpu(int index) const { return pcpus_[index].get(); }
+
+  // ---- PCPU fault & capacity-degradation model ----
+  // Takes a core offline (fault/hotplug-remove) or brings it back. Going
+  // offline forcibly revokes the dispatched VCPU (which becomes runnable
+  // again and is owed MachineConfig::evacuation_penalty on its next
+  // dispatch), notifies the host scheduler via PcpuCapacityChanged, and
+  // tickles the surviving cores so stranded VCPUs find a new home.
+  void SetPcpuOnline(int pcpu, bool online);
+  // Sets a core's frequency-scaling factor in (0, 1]: guest work on it
+  // progresses at `speed` useful ns per wall-clock ns. The dispatched VCPU
+  // is revoked first so every grant runs at a single constant speed, then
+  // the scheduler is notified and the core re-dispatches.
+  void SetPcpuSpeed(int pcpu, double speed);
+  // Sum of online PCPU speed factors: the machine's real supply. Equals
+  // Bandwidth::Cpus(num_pcpus()) on a healthy machine.
+  Bandwidth EffectiveCapacity() const;
+  int num_online_pcpus() const;
+  // VCPUs forcibly revoked by SetPcpuOnline(pcpu, false) so far.
+  uint64_t pcpu_evacuations() const { return pcpu_evacuations_; }
 
   // Kicks every PCPU's scheduler once; call after creating VMs and workloads
   // (additional VMs/VCPUs may still be added later).
@@ -115,6 +140,7 @@ class Machine {
   std::vector<std::unique_ptr<Pcpu>> pcpus_;
   std::vector<std::unique_ptr<Vm>> vms_;
   int next_vcpu_global_id_ = 0;
+  uint64_t pcpu_evacuations_ = 0;
   OverheadStats overhead_;
   DispatchTracer dispatch_tracer_;
   HypercallInterceptor hypercall_interceptor_;

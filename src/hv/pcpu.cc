@@ -59,6 +59,13 @@ void Pcpu::Reschedule() {
   const MachineConfig& cfg = machine_->config();
   OverheadStats& overhead = machine_->mutable_overhead();
 
+  if (!online_) {
+    // A failed/offlined core executes nothing: revoke whatever is here and
+    // schedule no further events. Machine::SetPcpuOnline(true) re-arms us.
+    StopCurrent();
+    return;
+  }
+
   // We are re-deciding; the previous slice-end timer (if any) is obsolete.
   sim->Cancel(slice_end_event_);
 
@@ -105,6 +112,14 @@ void Pcpu::Reschedule() {
     overhead.migration_time += cfg.migration_cost;
     delay += cfg.migration_cost;
     ++d.next->migrations_;
+  }
+  if (d.next->evacuation_penalty_ > 0) {
+    // One-shot salvage cost for a VCPU whose core died under it (state
+    // reconstruction on the rescuing core), charged on top of the ordinary
+    // migration cost.
+    overhead.migration_time += d.next->evacuation_penalty_;
+    delay += d.next->evacuation_penalty_;
+    d.next->evacuation_penalty_ = 0;
   }
   if (machine_->dispatch_tracer()) {
     machine_->dispatch_tracer()(sim->Now(), *this, *d.next, migrated);

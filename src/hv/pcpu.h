@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/common/bandwidth.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
 
@@ -22,10 +23,25 @@ class Pcpu {
   int id() const { return id_; }
   Machine* machine() const { return machine_; }
 
+  // Fault/capacity model (set via Machine::SetPcpuOnline / SetPcpuSpeed).
+  // An offline PCPU executes nothing: its scheduler is never consulted and a
+  // reschedule only revokes whatever was dispatched here. A throttled PCPU
+  // (speed < 1.0) still executes, but guest work progresses at `speed` useful
+  // ns per wall-clock ns — consumed CPU time is stretched by 1/speed.
+  bool online() const { return online_; }
+  int64_t speed_ppb() const { return speed_ppb_; }  // Bandwidth::kUnit = full speed.
+  double speed() const {
+    return static_cast<double>(speed_ppb_) / static_cast<double>(Bandwidth::kUnit);
+  }
+
   // The VCPU currently dispatched here (nullptr when idle). A dispatched
   // VCPU may still be paying context-switch overhead and not yet granted.
   Vcpu* current() const { return current_; }
   bool idle() const { return current_ == nullptr; }
+  // When the current dispatch expires (kTimeNever when idle or open-ended).
+  // Lets a scheduler that finds its VCPU held by another PCPU distinguish a
+  // stop event queued at this very instant from a genuinely longer grant.
+  TimeNs run_until() const { return current_ == nullptr ? kTimeNever : run_until_; }
 
   // Tickle: request a (coalesced) re-invocation of the scheduler now.
   // Mirrors raising SCHEDULE_SOFTIRQ on the target CPU in Xen.
@@ -65,6 +81,8 @@ class Pcpu {
 
   Machine* machine_;
   int id_;
+  bool online_ = true;
+  int64_t speed_ppb_ = Bandwidth::kUnit;
   Vcpu* current_ = nullptr;
   bool granted_ = false;       // Guest notified that it is running.
   TimeNs granted_at_ = 0;      // Start of useful execution.

@@ -64,6 +64,12 @@ class Vcpu {
   TimeNs total_runtime() const;
   uint64_t migrations() const { return migrations_; }
 
+  // Fault model: times this VCPU was forcibly removed from a PCPU that went
+  // offline under it (Machine::SetPcpuOnline), and the one-shot penalty still
+  // owed on its next dispatch (charged then cleared by the dispatcher).
+  uint64_t evacuations() const { return evacuations_; }
+  TimeNs pending_evacuation_penalty() const { return evacuation_penalty_; }
+
   // Host-scheduler private data (Xen keeps an analogous per-vcpu priv ptr).
   void set_sched_data(void* data) { sched_data_ = data; }
   void* sched_data() const { return sched_data_; }
@@ -83,6 +89,8 @@ class Vcpu {
   void* sched_data_ = nullptr;
   TimeNs total_runtime_ = 0;
   uint64_t migrations_ = 0;
+  uint64_t evacuations_ = 0;
+  TimeNs evacuation_penalty_ = 0;
 };
 
 }  // namespace rtvirt

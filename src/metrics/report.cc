@@ -70,4 +70,10 @@ void PrintCdf(std::ostream& out, const Samples& samples, size_t points,
   }
 }
 
+void PrintExperimentReport(std::ostream& out, const std::string& title,
+                           const ResilienceCounters& counters) {
+  out << "== experiment report: " << title << " ==\n";
+  PrintResilience(out, counters);
+}
+
 }  // namespace rtvirt

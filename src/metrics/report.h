@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/resilience.h"
 #include "src/sim/stats.h"
 
 namespace rtvirt {
@@ -35,6 +36,14 @@ void PrintPercentiles(std::ostream& out, const Samples& samples,
 // Prints a CDF like Figure 5: `points` (value, fraction) rows.
 void PrintCdf(std::ostream& out, const Samples& samples, size_t points,
               const std::string& unit);
+
+// The standard end-of-run experiment report: a titled header followed by the
+// full resilience counter table (which includes the PCPU fault/recovery and
+// invariant-audit sections when those subsystems fired). Benches print this
+// instead of hand-rolling their own counter dumps; Experiment::PrintReport
+// fills it from the live harness.
+void PrintExperimentReport(std::ostream& out, const std::string& title,
+                           const ResilienceCounters& counters);
 
 }  // namespace rtvirt
 

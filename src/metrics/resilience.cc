@@ -44,6 +44,22 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("overload", "shed_job_drops", c.shed_job_drops);
     row("overload", "overload_admissions", c.overload_admissions);
   }
+  // PCPU fault and audit sections likewise only appear when those subsystems
+  // fired / were armed, keeping prior reports byte-identical.
+  uint64_t pcpu_any = c.pcpu_offline_events + c.pcpu_online_events + c.pcpu_degrade_events +
+                      c.pcpu_heal_events + c.pcpu_evacuations + c.capacity_replans;
+  if (pcpu_any > 0) {
+    row("pcpu", "offline_events", c.pcpu_offline_events);
+    row("pcpu", "online_events", c.pcpu_online_events);
+    row("pcpu", "degrade_events", c.pcpu_degrade_events);
+    row("pcpu", "heal_events", c.pcpu_heal_events);
+    row("pcpu", "vcpu_evacuations", c.pcpu_evacuations);
+    row("pcpu", "capacity_replans", c.capacity_replans);
+  }
+  if (c.audit_checks > 0) {
+    row("audit", "checks_run", c.audit_checks);
+    row("audit", "violations", c.audit_violations);
+  }
   table.Print(out);
 }
 

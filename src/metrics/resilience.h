@@ -47,6 +47,20 @@ struct ResilienceCounters {
   uint64_t shed_job_drops = 0;
   uint64_t overload_admissions = 0;
 
+  // PCPU fault & capacity-degradation model: injected capacity events
+  // (FaultInjector), forced VCPU evacuations (Machine), and capacity-driven
+  // host re-plans (DP-WRAP pcpu_recovery).
+  uint64_t pcpu_offline_events = 0;
+  uint64_t pcpu_online_events = 0;
+  uint64_t pcpu_degrade_events = 0;
+  uint64_t pcpu_heal_events = 0;
+  uint64_t pcpu_evacuations = 0;
+  uint64_t capacity_replans = 0;
+
+  // Invariant auditor (zero when no auditor was armed).
+  uint64_t audit_checks = 0;
+  uint64_t audit_violations = 0;
+
   uint64_t TotalInjected() const {
     return injected_failures + injected_drops + outage_failures;
   }

@@ -295,41 +295,104 @@ void DpWrapScheduler::Replan() {
     vcpu_segments_[v].push_back(ps);
   };
 
-  // Affinity-pinned reservations first, at the head of their PCPU's chunk:
-  // they never migrate and never split (paper section 6).
-  std::vector<TimeNs> occupied(machine_->num_pcpus(), 0);
-  std::vector<Reservation*> wrapped;
-  wrapped.reserve(ordered.size());
-  for (Reservation* res : ordered) {
-    if (res->affinity < 0) {
-      wrapped.push_back(res);
-      continue;
-    }
-    int pcpu = res->affinity;
-    TimeNs alloc = take_alloc(res, slice_len - occupied[pcpu]);
-    if (alloc > 0) {
-      emit(res->vcpu, pcpu, occupied[pcpu], occupied[pcpu] + alloc);
-      occupied[pcpu] += alloc;
+  // Degraded machines (pcpu_recovery only) take the heterogeneous layout
+  // path below; a healthy machine always takes the exact nominal path.
+  bool degraded = false;
+  if (config_.pcpu_recovery.enabled) {
+    for (int k = 0; k < machine_->num_pcpus(); ++k) {
+      const Pcpu* pc = machine_->pcpu(k);
+      if (!pc->online() || pc->speed_ppb() != Bandwidth::kUnit) {
+        degraded = true;
+        break;
+      }
     }
   }
 
-  // Everything else wraps into the remaining space (McNaughton).
-  TimeNs free_total = 0;
-  for (TimeNs occ : occupied) {
-    free_total += slice_len - occ;
-  }
-  std::vector<WrapItem> items;
-  items.reserve(wrapped.size());
-  TimeNs allocated = 0;
-  for (size_t i = 0; i < wrapped.size(); ++i) {
-    // The carries can overshoot capacity by < n ns; trim the tail.
-    TimeNs alloc = take_alloc(wrapped[i], std::min(slice_len, free_total - allocated));
-    allocated += alloc;
-    items.push_back(WrapItem{static_cast<int>(i), alloc});
-  }
-  std::vector<WrapSegment> segments = WrapAroundFrom(items, slice_len, occupied);
-  for (const WrapSegment& seg : segments) {
-    emit(wrapped[seg.item_id]->vcpu, seg.pcpu, seg.start, seg.end);
+  std::vector<TimeNs> occupied(machine_->num_pcpus(), 0);
+  std::vector<Reservation*> wrapped;
+  wrapped.reserve(ordered.size());
+  if (!degraded) {
+    // Affinity-pinned reservations first, at the head of their PCPU's chunk:
+    // they never migrate and never split (paper section 6).
+    for (Reservation* res : ordered) {
+      if (res->affinity < 0) {
+        wrapped.push_back(res);
+        continue;
+      }
+      int pcpu = res->affinity;
+      TimeNs alloc = take_alloc(res, slice_len - occupied[pcpu]);
+      if (alloc > 0) {
+        emit(res->vcpu, pcpu, occupied[pcpu], occupied[pcpu] + alloc);
+        occupied[pcpu] += alloc;
+      }
+    }
+
+    // Everything else wraps into the remaining space (McNaughton).
+    TimeNs free_total = 0;
+    for (TimeNs occ : occupied) {
+      free_total += slice_len - occ;
+    }
+    std::vector<WrapItem> items;
+    items.reserve(wrapped.size());
+    TimeNs allocated = 0;
+    for (size_t i = 0; i < wrapped.size(); ++i) {
+      // The carries can overshoot capacity by < n ns; trim the tail.
+      TimeNs alloc = take_alloc(wrapped[i], std::min(slice_len, free_total - allocated));
+      allocated += alloc;
+      items.push_back(WrapItem{static_cast<int>(i), alloc});
+    }
+    std::vector<WrapSegment> segments = WrapAroundFrom(items, slice_len, occupied);
+    for (const WrapSegment& seg : segments) {
+      emit(wrapped[seg.item_id]->vcpu, seg.pcpu, seg.start, seg.end);
+    }
+  } else {
+    // Degraded layout: plan in *effective* (full-speed-equivalent) ns
+    // against the surviving cores, then stretch back to wall-clock segments.
+    // take_alloc stays in effective ns, so the carry accumulators keep
+    // tracking the fluid schedule across healthy and degraded slices alike.
+    std::vector<int64_t> speeds(machine_->num_pcpus(), 0);
+    for (int k = 0; k < machine_->num_pcpus(); ++k) {
+      const Pcpu* pc = machine_->pcpu(k);
+      speeds[k] = pc->online() ? pc->speed_ppb() : 0;
+    }
+    auto eff_free = [&](int k) -> TimeNs {
+      if (speeds[k] <= 0 || occupied[k] >= slice_len) {
+        return 0;
+      }
+      return SpeedWallToWork(slice_len - occupied[k], speeds[k]);
+    };
+    for (Reservation* res : ordered) {
+      int pcpu = res->affinity;
+      if (pcpu < 0 || speeds[pcpu] <= 0) {
+        // A pin to a dead core cannot hold: evacuate into the wrap. The pin
+        // itself persists (res->affinity untouched) and re-applies on heal.
+        wrapped.push_back(res);
+        continue;
+      }
+      TimeNs alloc = take_alloc(res, eff_free(pcpu));
+      if (alloc > 0) {
+        TimeNs wall = SpeedWorkToWall(alloc, speeds[pcpu]);
+        emit(res->vcpu, pcpu, occupied[pcpu], occupied[pcpu] + wall);
+        occupied[pcpu] += wall;
+      }
+    }
+    TimeNs free_total = 0;
+    for (int k = 0; k < machine_->num_pcpus(); ++k) {
+      free_total += eff_free(k);
+    }
+    std::vector<WrapItem> items;
+    items.reserve(wrapped.size());
+    TimeNs allocated = 0;
+    for (size_t i = 0; i < wrapped.size(); ++i) {
+      TimeNs alloc = take_alloc(wrapped[i], std::min(slice_len, free_total - allocated));
+      allocated += alloc;
+      items.push_back(WrapItem{static_cast<int>(i), alloc});
+    }
+    std::vector<WrapSegment> segments =
+        WrapAroundDegraded(items, slice_len, occupied, speeds);
+    for (const WrapSegment& seg : segments) {
+      emit(wrapped[seg.item_id]->vcpu, seg.pcpu, seg.start, seg.end);
+    }
   }
   // Host->guest notification of the slice allocation (Figure 2).
   for (const auto& [v, segs] : vcpu_segments_) {
@@ -383,9 +446,28 @@ ScheduleDecision DpWrapScheduler::PickNext(Pcpu* pcpu) {
     // Active reserved segment.
     Vcpu* v = seg.vcpu;
     if (v->running() && v->pcpu() != pcpu) {
-      // The earlier piece of this (split) VCPU has not been descheduled yet;
-      // its stop event is queued at this same instant. Re-tickle both sides.
-      v->pcpu()->RequestReschedule();
+      Pcpu* holder = v->pcpu();
+      bool holder_owns = false;
+      auto own = vcpu_segments_.find(v);
+      if (own != vcpu_segments_.end()) {
+        for (const PlanSegment& s : own->second) {
+          if (s.pcpu == holder->id() && s.start <= now && now < s.end) {
+            holder_owns = true;
+            break;
+          }
+        }
+      }
+      if (holder_owns) {
+        // The plan gives this VCPU wall-clock-overlapping pieces (leftover
+        // placement tolerates that) and the holder rightly keeps it, so a
+        // re-tickle would spin forever at this instant. Serialize instead:
+        // wait for the holder to release.
+        return ScheduleDecision{nullptr, std::min(seg.end, holder->run_until())};
+      }
+      // The earlier piece of this (split) VCPU has not been descheduled yet
+      // (its stop event is queued at this same instant), or the holder is on
+      // a stale pre-replan grant. Re-tickle both sides.
+      holder->RequestReschedule();
       pcpu->RequestReschedule();
       return ScheduleDecision{nullptr, seg.end};
     }
@@ -442,8 +524,16 @@ void DpWrapScheduler::VcpuWake(Vcpu* vcpu) {
       }
       // The deferral costs this reservation bw * (earliest - now) of supply
       // before its deadline; compensate through the carry accumulator so the
-      // deferred slice hands the share back.
-      res->second.carry_ppb += res->second.EffectiveBw().ppb() * (earliest - now);
+      // deferred slice hands the share back. Repeated wakes inside the same
+      // deferral window must not stack compensation past one period of
+      // backlog plus this deferral's worth — the bound the auditor checks.
+      __int128 comp = static_cast<__int128>(res->second.carry_ppb) +
+                      static_cast<__int128>(res->second.EffectiveBw().ppb()) *
+                          (earliest - now);
+      __int128 comp_max =
+          static_cast<__int128>(res->second.EffectiveBw().ppb()) *
+          (res->second.period + config_.min_global_slice);
+      res->second.carry_ppb = static_cast<int64_t>(std::min(comp, comp_max));
       // Fall through: use whatever segment time remains until the replan.
     }
   }
@@ -459,6 +549,9 @@ void DpWrapScheduler::VcpuWake(Vcpu* vcpu) {
   int n = machine_->num_pcpus();
   for (int k = 0; k < n; ++k) {
     Pcpu* p = machine_->pcpu((tickle_cursor_ + k) % n);
+    if (!p->online()) {
+      continue;  // A dead core looks idle but will never dispatch anyone.
+    }
     if (p->idle()) {
       tickle_cursor_ = (p->id() + 1) % n;
       p->RequestReschedule();
@@ -468,6 +561,21 @@ void DpWrapScheduler::VcpuWake(Vcpu* vcpu) {
 }
 
 void DpWrapScheduler::VcpuBlock(Vcpu* vcpu) { (void)vcpu; }
+
+void DpWrapScheduler::PcpuCapacityChanged(Pcpu* pcpu) {
+  (void)pcpu;
+  if (!config_.pcpu_recovery.enabled) {
+    return;  // Frozen layout: keep planning against nominal capacity.
+  }
+  // Admission, the overload watermarks, and the published headroom all key
+  // off capacity_; once it tracks the surviving effective supply, the
+  // renegotiation with the guests rides the existing pressure protocol —
+  // demand that no longer fits raises pressure at the next overload scan,
+  // guests compress/shed, and the same hysteresis re-inflates after heal.
+  capacity_ = machine_->EffectiveCapacity();
+  ++capacity_replans_;
+  ScheduleReplan();
+}
 
 TimeNs DpWrapScheduler::ScheduleCost(const Pcpu* pcpu) const {
   (void)pcpu;
@@ -543,6 +651,15 @@ int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs perio
   } else if (it != reservations_.end()) {
     it->second.bw = bw;
     it->second.period = clamped_period;
+    // Supply-debt earned at the old rate does not survive a shrink: the
+    // carry's backlog entitlement is one period at the *current* bandwidth
+    // (the same bound take_alloc and the auditor enforce), or a compressed
+    // reservation would keep claiming its pre-compression share.
+    __int128 carry_max =
+        static_cast<__int128>(it->second.EffectiveBw().ppb()) * clamped_period;
+    if (static_cast<__int128>(it->second.carry_ppb) > carry_max) {
+      it->second.carry_ppb = static_cast<int64_t>(carry_max);
+    }
   } else {
     Reservation res;
     res.vcpu = vcpu;
@@ -623,7 +740,41 @@ std::vector<std::string> DpWrapScheduler::AuditPlan() const {
   // capacity (plus the rounding epsilon). With the tax, admission runs
   // against the taxed total, so the raw total may legitimately overcommit;
   // what must hold instead is taxed <= raw (the tax only ever shrinks).
-  if (!config_.idle_tax.enabled) {
+  // With pcpu_recovery, admitted demand may transiently exceed a freshly
+  // degraded capacity until the pressure protocol sheds it — what must hold
+  // at every instant is that the *plan* promises no more than the surviving
+  // cores can deliver: no segments on offline cores, and the laid-out
+  // effective supply within the effective capacity of the slice. Skipped
+  // while a replan is pending (the plan is mid-transition at this instant).
+  if (config_.pcpu_recovery.enabled) {
+    if (!replan_pending_) {
+      __int128 planned_eff = 0;  // ns * ppb.
+      for (size_t p = 0; p < pcpu_plan_.size(); ++p) {
+        const Pcpu* pc = machine_->pcpu(static_cast<int>(p));
+        TimeNs planned = 0;
+        for (const PlanSegment& seg : pcpu_plan_[p]) {
+          planned += seg.end - seg.start;
+        }
+        if (!pc->online() && planned > 0) {
+          std::snprintf(buf, sizeof(buf), "pcpu %zu is offline but the plan lays %lld ns onto it",
+                        p, static_cast<long long>(planned));
+          violations.emplace_back(buf);
+        } else if (pc->online()) {
+          planned_eff += static_cast<__int128>(planned) * pc->speed_ppb();
+        }
+      }
+      TimeNs len = slice_end_ - slice_start_;
+      __int128 cap_eff = static_cast<__int128>(machine_->EffectiveCapacity().ppb()) * len;
+      __int128 slack = static_cast<__int128>(config_.admission_epsilon_ppb) * len +
+                       static_cast<__int128>(pcpu_plan_.size()) * Bandwidth::kUnit;
+      if (planned_eff > cap_eff + slack) {
+        std::snprintf(buf, sizeof(buf),
+                      "planned effective supply %lld ppb*ns exceeds effective capacity %lld ppb*ns",
+                      static_cast<long long>(planned_eff), static_cast<long long>(cap_eff));
+        violations.emplace_back(buf);
+      }
+    }
+  } else if (!config_.idle_tax.enabled) {
     if (total_ > capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb)) {
       std::snprintf(buf, sizeof(buf),
                     "reserved total %lld ppb exceeds capacity %lld ppb + epsilon %lld ppb",
@@ -687,7 +838,16 @@ std::vector<std::string> DpWrapScheduler::AuditPlan() const {
     }
     TimeNs alloc = 0;
     for (const PlanSegment& s : segs) {
-      alloc += s.end - s.start;
+      TimeNs len = s.end - s.start;
+      if (config_.pcpu_recovery.enabled && !replan_pending_) {
+        // Degraded plans hand out wall time; the reservation's promise is in
+        // effective ns — compare like with like (identity at full speed).
+        const Pcpu* pc = machine_->pcpu(s.pcpu);
+        if (pc->online()) {
+          len = SpeedWallToWork(len, pc->speed_ppb());
+        }
+      }
+      alloc += len;
     }
     TimeNs bound = it->second.EffectiveBw().SliceOfCeil(slice_len + it->second.period) + 1;
     if (alloc > bound) {

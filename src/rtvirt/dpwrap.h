@@ -81,6 +81,22 @@ struct DpWrapConfig {
   };
   Overload overload;
 
+  // PCPU fault recovery (cross-layer capacity renegotiation): when enabled,
+  // Machine::SetPcpuOnline / SetPcpuSpeed events re-plan the DP-WRAP layout
+  // across the surviving *effective* capacity (offline cores get no
+  // segments; throttled cores get wall-clock-stretched ones), and admission
+  // plus the overload watermarks run against the degraded capacity — so a
+  // failure that leaves total demand unfittable raises pressure through the
+  // ordinary overload protocol and guests compress/shed, with the same
+  // hysteresis reversing everything on re-online. When disabled (the
+  // default) capacity events are ignored: the frozen layout keeps planning
+  // against nominal capacity and whatever lands on dead or slowed cores is
+  // simply lost (the no-protection baseline).
+  struct PcpuRecovery {
+    bool enabled = false;
+  };
+  PcpuRecovery pcpu_recovery;
+
   // Watchdog (fault model): periodically reclaims the reservations of
   // crashed VMs (their guests cannot issue DEC_BW anymore — the bandwidth is
   // orphaned until the host takes it back) and optionally distrusts shared-
@@ -112,6 +128,7 @@ class DpWrapScheduler : public HostScheduler {
   void VcpuWake(Vcpu* vcpu) override;
   void VcpuBlock(Vcpu* vcpu) override;
   ScheduleDecision PickNext(Pcpu* pcpu) override;
+  void PcpuCapacityChanged(Pcpu* pcpu) override;
   void AccountRun(Vcpu* vcpu, TimeNs ran) override;
   int64_t Hypercall(Vcpu* caller, const HypercallArgs& args) override;
   TimeNs ScheduleCost(const Pcpu* pcpu) const override;
@@ -138,6 +155,8 @@ class DpWrapScheduler : public HostScheduler {
   // stale publications overridden by the freshness horizon.
   uint64_t watchdog_reclaims() const { return watchdog_reclaims_; }
   uint64_t stale_rejections() const { return stale_rejections_; }
+  // Re-plans triggered by PCPU capacity events (pcpu_recovery only).
+  uint64_t capacity_replans() const { return capacity_replans_; }
   // Overload-pressure introspection.
   bool pressure() const { return pressure_; }
   uint64_t pressure_raises() const { return pressure_raises_; }
@@ -229,6 +248,7 @@ class DpWrapScheduler : public HostScheduler {
   uint64_t replans_ = 0;
   uint64_t watchdog_reclaims_ = 0;
   uint64_t stale_rejections_ = 0;
+  uint64_t capacity_replans_ = 0;
 
   // Overload-pressure state.
   Simulator::EventId overload_event_;

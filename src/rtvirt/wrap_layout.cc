@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/bandwidth.h"
+
 namespace rtvirt {
 
 std::vector<WrapSegment> WrapAround(std::span<const WrapItem> items, TimeNs slice_len,
@@ -95,6 +97,93 @@ std::vector<WrapSegment> WrapAroundFrom(std::span<const WrapItem> items, TimeNs 
       remaining -= piece;
     }
     assert(remaining == 0 && "allocations exceed the free space");
+  }
+  return segments;
+}
+
+std::vector<WrapSegment> WrapAroundDegraded(std::span<const WrapItem> items, TimeNs slice_len,
+                                            std::span<const TimeNs> occupied,
+                                            std::span<const int64_t> speed_ppb) {
+  assert(slice_len > 0);
+  assert(occupied.size() == speed_ppb.size());
+  int pcpus = static_cast<int>(occupied.size());
+  std::vector<TimeNs> fill(occupied.begin(), occupied.end());
+  std::vector<WrapSegment> segments;
+  segments.reserve(items.size() + pcpus);
+
+  // Effective capacity left on chunk k, floored: flooring under-counts by
+  // < 1 effective ns, so a piece sized from it always fits back in wall time
+  // (ceil(E * kUnit / s) <= free wall whenever E <= floor(free wall * s / kUnit)).
+  auto eff_free = [&](int k) -> TimeNs {
+    if (speed_ppb[k] <= 0 || fill[k] >= slice_len) {
+      return 0;
+    }
+    return SpeedWallToWork(slice_len - fill[k], speed_ppb[k]);
+  };
+
+  // First pass mirrors WrapAroundFrom, walking in effective ns and emitting
+  // in wall ns; straddles whose wall-clock pieces would overlap are deferred.
+  struct Leftover {
+    int id;
+    TimeNs alloc;  // Effective ns.
+  };
+  std::vector<Leftover> leftovers;
+  int chunk = 0;
+  for (const WrapItem& item : items) {
+    TimeNs remaining = item.alloc;
+    while (remaining > 0) {
+      if (chunk >= pcpus) {
+        leftovers.push_back(Leftover{item.id, remaining});
+        break;
+      }
+      TimeNs free_here = eff_free(chunk);
+      if (free_here <= 0) {
+        ++chunk;
+        continue;
+      }
+      TimeNs piece = std::min(remaining, free_here);
+      TimeNs wall_piece = SpeedWorkToWall(piece, speed_ppb[chunk]);
+      if (piece < remaining && chunk + 1 < pcpus) {
+        // Straddle safety in wall-clock terms: the continuation on the next
+        // chunk must end before this piece starts. Best-effort — the rest is
+        // measured against only the next chunk, as in WrapAroundFrom.
+        TimeNs rest_eff = std::min(remaining - piece, eff_free(chunk + 1));
+        TimeNs rest_wall = speed_ppb[chunk + 1] > 0
+                               ? SpeedWorkToWall(rest_eff, speed_ppb[chunk + 1])
+                               : 0;
+        if (fill[chunk + 1] + rest_wall > fill[chunk]) {
+          ++chunk;
+          continue;
+        }
+      }
+      segments.push_back(WrapSegment{item.id, chunk, fill[chunk], fill[chunk] + wall_piece});
+      fill[chunk] += wall_piece;
+      remaining -= piece;
+      if (eff_free(chunk) == 0) {
+        ++chunk;
+      }
+    }
+  }
+  // Second pass: place leftovers into any remaining gaps, tolerating
+  // wall-clock self-overlap (the dispatcher serializes). Unlike the
+  // homogeneous variant nothing is asserted away to zero: per-chunk floor
+  // rounding can strand < 1 effective ns per visit, which the planner's
+  // admission epsilon covers.
+  for (const Leftover& left : leftovers) {
+    TimeNs remaining = left.alloc;
+    for (int k = 0; k < pcpus && remaining > 0; ++k) {
+      TimeNs free_here = eff_free(k);
+      if (free_here <= 0) {
+        continue;
+      }
+      TimeNs piece = std::min(remaining, free_here);
+      TimeNs wall_piece = SpeedWorkToWall(piece, speed_ppb[k]);
+      segments.push_back(WrapSegment{left.id, k, fill[k], fill[k] + wall_piece});
+      fill[k] += wall_piece;
+      remaining -= piece;
+    }
+    assert(remaining <= 2 * static_cast<TimeNs>(pcpus) + 2 &&
+           "stranded allocation beyond rounding slack");
   }
   return segments;
 }

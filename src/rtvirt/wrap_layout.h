@@ -48,6 +48,23 @@ std::vector<WrapSegment> WrapAround(std::span<const WrapItem> items, TimeNs slic
 std::vector<WrapSegment> WrapAroundFrom(std::span<const WrapItem> items, TimeNs slice_len,
                                         std::span<const TimeNs> occupied);
 
+// Heterogeneous-capacity variant for the PCPU fault/degradation model.
+// Item allocations are in *effective* (full-speed-equivalent) ns; chunk k
+// runs at speed_ppb[k] (Bandwidth::kUnit = full speed, <= 0 = offline — no
+// capacity) and is pre-occupied up to occupied[k] wall-clock ns. Returned
+// segments are wall-clock offsets within the slice: a piece of E effective
+// ns on a chunk at speed s occupies ceil(E/s) wall ns there. Precondition:
+// sum of allocations <= sum of per-chunk effective free space (the caller
+// trims against Machine::EffectiveCapacity()); per-chunk floor rounding may
+// strand < 1 effective ns per chunk visit, which the caller's epsilon slack
+// absorbs. The straddle-safety and at-most-m-1-splits properties degrade to
+// best-effort here: an item wider than any surviving chunk's effective
+// capacity must overlap itself in wall-clock time, and the dispatcher
+// serializes such pieces at runtime (bounded lag, nothing dropped).
+std::vector<WrapSegment> WrapAroundDegraded(std::span<const WrapItem> items, TimeNs slice_len,
+                                            std::span<const TimeNs> occupied,
+                                            std::span<const int64_t> speed_ppb);
+
 }  // namespace rtvirt
 
 #endif  // SRC_RTVIRT_WRAP_LAYOUT_H_

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/metrics/report.h"
+
 namespace rtvirt {
 
 const char* FrameworkName(Framework framework) {
@@ -116,6 +118,15 @@ ResilienceCounters Experiment::resilience() const {
     c.outage_failures = f.outage_failures;
     c.vm_crashes = f.vm_crashes;
     c.vm_restarts = f.vm_restarts;
+    c.pcpu_offline_events = f.pcpu_offline_events;
+    c.pcpu_online_events = f.pcpu_online_events;
+    c.pcpu_degrade_events = f.pcpu_degrade_events;
+    c.pcpu_heal_events = f.pcpu_heal_events;
+  }
+  c.pcpu_evacuations = machine_->pcpu_evacuations();
+  if (auditor_ != nullptr) {
+    c.audit_checks = auditor_->checks_run();
+    c.audit_violations = auditor_->total_violations();
   }
   for (RtvirtGuestChannel* ch : channels_) {
     if (ch == nullptr) {
@@ -133,6 +144,7 @@ ResilienceCounters Experiment::resilience() const {
   if (dpwrap_ != nullptr) {
     c.watchdog_reclaims = dpwrap_->watchdog_reclaims();
     c.stale_rejections = dpwrap_->stale_rejections();
+    c.capacity_replans = dpwrap_->capacity_replans();
     c.pressure_raises = dpwrap_->pressure_raises();
     c.pressure_clears = dpwrap_->pressure_clears();
     c.admission_rejections = dpwrap_->admission_rejections();
@@ -148,6 +160,10 @@ ResilienceCounters Experiment::resilience() const {
     c.overload_admissions += s.overload_admissions;
   }
   return c;
+}
+
+void Experiment::PrintReport(std::ostream& out, const std::string& title) const {
+  PrintExperimentReport(out, title, resilience());
 }
 
 void Experiment::SetVcpuServer(Vcpu* vcpu, ServerParams params) {

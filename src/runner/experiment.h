@@ -86,8 +86,12 @@ class Experiment {
   InvariantAuditor* auditor() const { return auditor_.get(); }
   // The cross-layer channel of `guest` (null unless framework is RTVirt).
   RtvirtGuestChannel* ChannelOf(const GuestOs* guest) const;
-  // Aggregates injector, per-guest channel, and host watchdog counters.
+  // Aggregates injector, per-guest channel, host watchdog/capacity, and
+  // auditor counters.
   ResilienceCounters resilience() const;
+  // The standard end-of-run report: resilience counters (including the PCPU
+  // fault/recovery and audit sections when those fired) under a title line.
+  void PrintReport(std::ostream& out, const std::string& title) const;
 
  private:
   ExperimentConfig config_;
