@@ -1,14 +1,17 @@
 // Randomized multi-seed PCPU-fault soak (robustness PR, CI weekly job).
 //
 // Each seed derives a fresh random fault plan — transient core outages,
-// frequency throttles, and the occasional permanent failure, laid out
-// non-overlapping per core so FaultPlan::Validate accepts it — and drives a
-// churned two-tier workload through it with the full recovery stack enabled
-// (pcpu_recovery + overload renegotiation + invariant auditor). The process
-// exits nonzero if any seed ends with audit violations, an unarmed auditor,
-// or a fault path that never fired; RTVIRT_CHECK failures abort outright.
-// Under ASan/UBSan (the CI configuration) this doubles as a memory/UB sweep
-// over the whole evacuation/re-plan/renegotiation machinery.
+// frequency throttles, the occasional permanent failure, and an adversarial-
+// guest campaign (deadline lies, a hypercall storm, and bandwidth thrash from
+// a dedicated byzantine VM), laid out non-overlapping per core so
+// FaultPlan::Validate accepts it — and drives a churned two-tier workload
+// through it with the full recovery stack enabled (pcpu_recovery + overload
+// renegotiation + guest_trust boundary + invariant auditor). The process
+// exits nonzero if any seed ends with audit violations, an isolation-
+// invariant violation, an unarmed auditor, or a fault/attack path that never
+// fired; RTVIRT_CHECK failures abort outright. Under ASan/UBSan (the CI
+// configuration) this doubles as a memory/UB sweep over the whole
+// evacuation/re-plan/renegotiation/quarantine machinery.
 //
 // RTVIRT_SOAK_SEEDS overrides the seed count (default 5 keeps a local run
 // in seconds; the weekly job raises it).
@@ -60,6 +63,27 @@ FaultPlan RandomPlan(uint64_t seed) {
       cursor = f.until + rng.UniformTime(Ms(200), Sec(1));
     }
   }
+  // One byzantine-VM campaign per seed: all three adversarial kinds share a
+  // random window that ends well before the run does, so the trust boundary
+  // gets to quarantine *and* rehabilitate under concurrent PCPU faults. VM
+  // index 2 is the dedicated adversary added by SoakOne.
+  TimeNs atk_start = rng.UniformTime(Ms(500), Sec(2));
+  TimeNs atk_end = std::min<TimeNs>(atk_start + rng.UniformTime(Sec(1), Sec(2)),
+                                    kRun - Sec(1));
+  for (auto kind : {FaultPlan::AdversarialGuest::Kind::kDeadlineLies,
+                    FaultPlan::AdversarialGuest::Kind::kHypercallStorm,
+                    FaultPlan::AdversarialGuest::Kind::kBandwidthThrash}) {
+    FaultPlan::AdversarialGuest a;
+    a.kind = kind;
+    a.vm_index = 2;
+    a.start = atk_start;
+    a.end = atk_end;
+    a.period = kind == FaultPlan::AdversarialGuest::Kind::kHypercallStorm ? Us(100)
+               : kind == FaultPlan::AdversarialGuest::Kind::kDeadlineLies ? Us(200)
+                                                                          : Us(500);
+    a.thrash_high = Bandwidth::FromDouble(0.15);
+    plan.adversarial_guests.push_back(a);
+  }
   return plan;
 }
 
@@ -75,6 +99,7 @@ SoakResult SoakOne(uint64_t seed) {
   cfg.seed = seed;
   cfg.dpwrap.pcpu_recovery.enabled = true;
   cfg.dpwrap.overload.enabled = true;
+  cfg.dpwrap.guest_trust.enabled = true;
   cfg.audit.enabled = true;
   cfg.machine.evacuation_penalty = Us(150);
   cfg.faults = RandomPlan(seed);
@@ -84,6 +109,12 @@ SoakResult SoakOne(uint64_t seed) {
   gcfg.overload.enabled = true;
   GuestOs* hi = exp.AddGuest("hi", 6, gcfg);
   GuestOs* lo = exp.AddGuest("lo", 4, gcfg);
+  // VM 2: the byzantine guest the adversarial plan entries target. A small
+  // legitimate RTA keeps a host-read deadline slot alive for the lies to
+  // land in; the last VCPU stays channel-unmanaged for the thrash campaign.
+  GuestOs* adv = exp.AddGuest("adv", 2);
+  PeriodicRta cover(adv, "cover", RtaParams{Ms(1), Ms(10)});
+  cover.Start(0, kRun);
 
   ChurnConfig hi_cfg;
   hi_cfg.experiment_len = kRun;
@@ -106,8 +137,9 @@ SoakResult SoakOne(uint64_t seed) {
   r.planned_faults = cfg.faults.pcpu_faults.size();
   if (exp.auditor() == nullptr || r.rc.audit_checks == 0) {
     r.why = "auditor never ran";
-  } else if (r.rc.audit_violations > 0) {
-    r.why = "audit violations";
+  } else if (r.rc.isolation_violations > 0 || r.rc.audit_violations > 0) {
+    r.why = r.rc.isolation_violations > 0 ? "isolation invariant violated"
+                                          : "audit violations";
     for (const AuditViolation& v : exp.auditor()->violations()) {
       std::cout << "  violation @" << v.time << " ns [" << v.invariant << "] " << v.detail
                 << "\n";
@@ -115,6 +147,13 @@ SoakResult SoakOne(uint64_t seed) {
   } else if (r.planned_faults > 0 &&
              r.rc.pcpu_offline_events + r.rc.pcpu_degrade_events == 0) {
     r.why = "planned faults never fired";
+  } else if (!cfg.faults.adversarial_guests.empty() &&
+             r.rc.adversarial_deadline_lies + r.rc.adversarial_storm_calls +
+                     r.rc.adversarial_thrash_calls == 0) {
+    r.why = "adversarial campaign never fired";
+  } else if (!cfg.faults.adversarial_guests.empty() &&
+             (r.rc.quarantines == 0 || r.rc.quarantine_releases == 0)) {
+    r.why = "byzantine VM not quarantined and rehabilitated";
   } else {
     r.ok = true;
   }
@@ -128,8 +167,8 @@ int Soak() {
   }
   Header("Randomized PCPU-fault soak: recovery + audit across " +
          std::to_string(seeds) + " seeds");
-  TablePrinter table({"seed", "faults", "evac", "replans", "sheds", "resumes", "audit",
-                      "result"});
+  TablePrinter table({"seed", "faults", "evac", "replans", "sheds", "resumes",
+                      "lie_rej", "rate_rej", "quar", "audit", "result"});
   int failures = 0;
   for (int s = 1; s <= seeds; ++s) {
     SoakResult r = SoakOne(static_cast<uint64_t>(s));
@@ -140,6 +179,10 @@ int Soak() {
                   std::to_string(r.rc.pcpu_evacuations),
                   std::to_string(r.rc.capacity_replans), std::to_string(r.rc.sheds),
                   std::to_string(r.rc.resumes),
+                  std::to_string(r.rc.deadline_lie_rejections),
+                  std::to_string(r.rc.hypercall_rate_rejections),
+                  std::to_string(r.rc.quarantines) + "/" +
+                      std::to_string(r.rc.quarantine_releases),
                   std::to_string(r.rc.audit_violations) + "/" +
                       std::to_string(r.rc.audit_checks),
                   r.ok ? "ok" : r.why});

@@ -55,6 +55,14 @@ size_t InvariantAuditor::CheckNow() {
     for (std::string& d : dpwrap_->AuditPlan()) {
       Record("host-plan", std::move(d));
     }
+    // Isolation (guest_trust only — empty otherwise): a well-behaved VM's
+    // planned allocation must meet its fluid share no matter what a
+    // quarantined co-resident does. Counted separately so harnesses can gate
+    // on containment specifically.
+    for (std::string& d : dpwrap_->AuditIsolation()) {
+      ++isolation_violations_;
+      Record("trust-isolation", std::move(d));
+    }
   }
 
   // PCPU capacity state: an offline core must never be executing anyone.

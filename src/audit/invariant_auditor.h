@@ -54,8 +54,8 @@ struct AuditorConfig {
 
 struct AuditViolation {
   TimeNs time = 0;         // Simulation time of the failed check.
-  std::string invariant;   // Category: host-plan, pcpu-state, guest-state,
-                           // guest-grant, grant-host, page-time.
+  std::string invariant;   // Category: host-plan, trust-isolation, pcpu-state,
+                           // guest-state, guest-grant, grant-host, page-time.
   std::string detail;      // Human-readable diagnostic.
 };
 
@@ -79,6 +79,9 @@ class InvariantAuditor {
   const AuditorConfig& config() const { return config_; }
   const std::vector<AuditViolation>& violations() const { return violations_; }
   uint64_t total_violations() const { return total_violations_; }
+  // trust-isolation subset of the total: containment failures of the
+  // guest_trust boundary (stored violations are capped; this count is not).
+  uint64_t isolation_violations() const { return isolation_violations_; }
   uint64_t checks_run() const { return checks_run_; }
 
  private:
@@ -96,6 +99,7 @@ class InvariantAuditor {
   std::vector<WatchedGuest> guests_;
   std::vector<AuditViolation> violations_;
   uint64_t total_violations_ = 0;
+  uint64_t isolation_violations_ = 0;
   uint64_t checks_run_ = 0;
 };
 

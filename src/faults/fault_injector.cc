@@ -17,7 +17,7 @@ std::string Entry(const char* field, size_t i, const char* what, long long a, lo
 
 }  // namespace
 
-std::string FaultPlan::Validate(int num_pcpus) const {
+std::string FaultPlan::Validate(int num_pcpus, int num_vms) const {
   for (size_t i = 0; i < hypercall_outages.size(); ++i) {
     const Outage& o = hypercall_outages[i];
     if (o.start < 0 || o.end <= o.start) {
@@ -33,9 +33,38 @@ std::string FaultPlan::Validate(int num_pcpus) const {
   }
   for (size_t i = 0; i < vm_failures.size(); ++i) {
     const VmFailure& f = vm_failures[i];
+    if (f.vm_index < 0 || (num_vms >= 0 && f.vm_index >= num_vms)) {
+      return Entry("vm_failures", i, "vm index out of range for machine size",
+                   f.vm_index, num_vms);
+    }
     if (f.crash_at < 0 || f.restart_at <= f.crash_at) {
       return Entry("vm_failures", i, "restart precedes crash or negative crash time",
                    f.crash_at, f.restart_at);
+    }
+  }
+  for (size_t i = 0; i < adversarial_guests.size(); ++i) {
+    const AdversarialGuest& a = adversarial_guests[i];
+    if (a.vm_index < 0 || (num_vms >= 0 && a.vm_index >= num_vms)) {
+      return Entry("adversarial_guests", i, "vm index out of range for machine size",
+                   a.vm_index, num_vms);
+    }
+    if (a.start < 0 || a.end <= a.start) {
+      return Entry("adversarial_guests", i, "empty or negative campaign window",
+                   a.start, a.end);
+    }
+    if (a.period <= 0) {
+      return Entry("adversarial_guests", i, "non-positive event cadence", a.period, 0);
+    }
+    if (a.kind == AdversarialGuest::Kind::kBandwidthThrash) {
+      if (a.thrash_low > a.thrash_high || a.thrash_high > Bandwidth::One() ||
+          a.thrash_low <= Bandwidth::Zero()) {
+        return Entry("adversarial_guests", i, "thrash bandwidths out of order or range (ppb)",
+                     a.thrash_low.ppb(), a.thrash_high.ppb());
+      }
+      if (a.thrash_period <= 0) {
+        return Entry("adversarial_guests", i, "non-positive thrash reservation period",
+                     a.thrash_period, 0);
+      }
     }
   }
   for (size_t i = 0; i < pcpu_faults.size(); ++i) {
@@ -120,6 +149,12 @@ void FaultInjector::Arm() {
     return;
   }
   armed_ = true;
+  // The constructor may run before the VMs exist; now they all do, so
+  // re-validate with the real count. A plan naming a VM the machine does not
+  // have is a harness bug — failing loudly beats silently skipping the fault
+  // and reporting a clean run that injected nothing.
+  std::string err = plan_.Validate(machine_->num_pcpus(), machine_->num_vms());
+  RTVIRT_CHECK(err.empty(), "invalid FaultPlan at Arm(): %s", err.c_str());
   machine_->SetHypercallInterceptor(
       [this](Vcpu* caller, const HypercallArgs& args) { return OnHypercall(caller, args); });
   if (plan_.shared_page_visibility_delay > 0) {
@@ -129,9 +164,6 @@ void FaultInjector::Arm() {
   }
   Simulator* sim = machine_->sim();
   for (const FaultPlan::VmFailure& f : plan_.vm_failures) {
-    if (f.vm_index < 0 || f.vm_index >= machine_->num_vms()) {
-      continue;
-    }
     Vm* vm = machine_->vm(f.vm_index);
     sim->At(f.crash_at, [this, vm] {
       machine_->CrashVm(vm);
@@ -185,6 +217,81 @@ void FaultInjector::Arm() {
       }
     }
   }
+  for (size_t i = 0; i < plan_.adversarial_guests.size(); ++i) {
+    sim->At(plan_.adversarial_guests[i].start, [this, i] { AdversaryTick(i, 0); });
+  }
+}
+
+void FaultInjector::AdversaryTick(size_t idx, uint64_t step) {
+  const FaultPlan::AdversarialGuest& a = plan_.adversarial_guests[idx];
+  Simulator* sim = machine_->sim();
+  TimeNs now = sim->Now();
+  if (now >= a.end) {
+    return;  // Campaign over; no reschedule.
+  }
+  Vm* vm = machine_->vm(a.vm_index);
+  if (!vm->crashed() && vm->num_vcpus() > 0) {
+    switch (a.kind) {
+      case FaultPlan::AdversarialGuest::Kind::kDeadlineLies: {
+        // Hostile writes land on VCPU 0, the slot the host actually reads
+        // (it carries the VM's legitimate reservation). Even steps publish a
+        // deadline half the clock in the past — stale by far more than any
+        // reservation period, so the sanitizer scores it as a lie rather
+        // than honest tardiness; odd steps publish now + 1.5 cadences —
+        // with the cadence at or below the planner's minimum slice, that
+        // horizon is still in the future at every read, so it pins the
+        // global slice at its floor and maximizes replan + dispatch
+        // overhead. Sprinkled in are out-of-range indices poking the
+        // shared-page guards (hardening regression: these must be no-ops,
+        // not crashes or allocations).
+        SharedSchedPage& page = vm->shared_page();
+        TimeNs lie = step % 2 == 0 ? now / 2 : now + a.period + a.period / 2;
+        page.PublishNextDeadline(0, lie);
+        if (step % 7 == 3) {
+          page.PublishNextDeadline(-1 - static_cast<int>(step % 5), lie);
+        }
+        if (step % 11 == 5) {
+          page.PublishNextDeadline(SharedSchedPage::kMaxSlots + static_cast<int>(step), lie);
+        }
+        ++stats_.deadline_lies;
+        break;
+      }
+      case FaultPlan::AdversarialGuest::Kind::kHypercallStorm: {
+        // Garbage requests (zero period is always invalid) from VCPU 0: the
+        // point is call volume, not state change — each one still burns the
+        // host's hypercall cost and, hardened, a rate-limiter token.
+        HypercallArgs args;
+        args.op = SchedOp::kIncBw;
+        args.vcpu_a = vm->vcpu(0);
+        args.bw_a = Bandwidth::FromDouble(0.01);
+        args.period_a = 0;
+        machine_->Hypercall(vm->vcpu(0), args);
+        ++stats_.storm_calls;
+        break;
+      }
+      case FaultPlan::AdversarialGuest::Kind::kBandwidthThrash: {
+        // Oscillation abuse on the VM's *last* VCPU — one no guest channel
+        // manages, so host-held bandwidth the channel does not know about
+        // stays within the audited contract. Every accepted call forces a
+        // full replan.
+        Vcpu* target = vm->vcpu(vm->num_vcpus() - 1);
+        HypercallArgs args;
+        args.vcpu_a = target;
+        args.period_a = a.thrash_period;
+        if (step % 2 == 0) {
+          args.op = SchedOp::kIncBw;
+          args.bw_a = a.thrash_high;
+        } else {
+          args.op = SchedOp::kDecBw;
+          args.bw_a = a.thrash_low;
+        }
+        machine_->Hypercall(target, args);
+        ++stats_.thrash_calls;
+        break;
+      }
+    }
+  }
+  sim->After(a.period, [this, idx, step] { AdversaryTick(idx, step + 1); });
 }
 
 }  // namespace rtvirt

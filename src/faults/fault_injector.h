@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bandwidth.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/hv/machine.h"
@@ -83,19 +84,50 @@ struct FaultPlan {
   };
   std::vector<PcpuFault> pcpu_faults;
 
+  // ---- (e) adversarial guests (Byzantine behavior, not random faults) ----
+  // A scheduled campaign of deliberately hostile cross-layer traffic from one
+  // VM, exercising the DpWrapConfig::guest_trust defenses. Every event is
+  // clock-driven with deterministic alternation (no RNG draws), so adding a
+  // campaign never shifts the random-fault stream and the same seed + plan
+  // reproduces the same trace.
+  struct AdversarialGuest {
+    enum class Kind {
+      kDeadlineLies,     // Publishes past / sub-floor deadlines to its slot,
+                         // with occasional out-of-range indices poking the
+                         // shared-page guards.
+      kHypercallStorm,   // Floods sched_rtvirt() with garbage requests.
+      kBandwidthThrash,  // Alternates INC_BW/DEC_BW on an unused VCPU to
+                         // force a replan per call (oscillation abuse).
+    };
+    Kind kind = Kind::kDeadlineLies;
+    int vm_index = 0;
+    TimeNs start = 0;
+    TimeNs end = kTimeNever;   // Campaign window [start, end).
+    TimeNs period = Us(500);   // Event cadence inside the window.
+    // kBandwidthThrash only: the two reservations it flips between.
+    Bandwidth thrash_low = Bandwidth::FromDouble(0.05);
+    Bandwidth thrash_high = Bandwidth::FromDouble(0.25);
+    TimeNs thrash_period = Ms(10);  // Reservation period used in the calls.
+  };
+  std::vector<AdversarialGuest> adversarial_guests;
+
   bool active() const {
     return hypercall_fail_prob > 0 || hypercall_drop_prob > 0 ||
            hypercall_spike_prob > 0 || !hypercall_outages.empty() ||
            shared_page_visibility_delay > 0 || !vm_failures.empty() ||
-           !pcpu_faults.empty();
+           !pcpu_faults.empty() || !adversarial_guests.empty();
   }
 
   // Structural validation, run by the FaultInjector constructor (which
   // RTVIRT_CHECKs the result): rejects overlapping outage windows, negative
-  // or empty durations, out-of-range PCPU ids, bad degrade speeds, and VM
-  // restarts that precede their crash. Returns an empty string when valid,
-  // else a message naming the offending entry.
-  std::string Validate(int num_pcpus) const;
+  // or empty durations, out-of-range PCPU ids, bad degrade speeds, VM
+  // restarts that precede their crash, and out-of-range or malformed
+  // VM-indexed entries (vm_failures, adversarial_guests). Returns an empty
+  // string when valid, else a message naming the offending entry. Pass the
+  // machine's VM count as num_vms to bounds-check VM indices; -1 skips those
+  // checks (plan built before the VMs exist — Arm() re-validates with the
+  // real count).
+  std::string Validate(int num_pcpus, int num_vms = -1) const;
 };
 
 struct FaultStats {
@@ -111,9 +143,17 @@ struct FaultStats {
   uint64_t pcpu_online_events = 0;   // Re-onlines closing transient windows.
   uint64_t pcpu_degrade_events = 0;  // Throttle applications.
   uint64_t pcpu_heal_events = 0;     // Full speed restored.
+  // Adversarial-guest events actually issued.
+  uint64_t deadline_lies = 0;   // Hostile shared-page publications.
+  uint64_t storm_calls = 0;     // Hypercall-storm calls issued.
+  uint64_t thrash_calls = 0;    // Bandwidth-thrash calls issued.
 
   uint64_t TotalHypercallFaults() const {
     return injected_failures + injected_drops + outage_failures;
+  }
+
+  uint64_t TotalAdversarialEvents() const {
+    return deadline_lies + storm_calls + thrash_calls;
   }
 };
 
@@ -140,6 +180,9 @@ class FaultInjector {
  private:
   Machine::HypercallFault OnHypercall(Vcpu* caller, const HypercallArgs& args);
   bool InOutage(TimeNs now) const;
+  // One event of adversarial campaign `idx`; `step` drives the deterministic
+  // alternation (lie flavors, thrash direction) without touching the RNG.
+  void AdversaryTick(size_t idx, uint64_t step);
 
   Machine* machine_;
   FaultPlan plan_;

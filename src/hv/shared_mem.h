@@ -26,6 +26,12 @@ namespace rtvirt {
 
 class SharedSchedPage {
  public:
+  // A real granted page is one page: 8 bytes per VCPU bounds the slot count
+  // far below this. The cap keeps a corrupted or malicious index from turning
+  // the backing vector into an allocation attack (the negative-index guard's
+  // mirror image; see tests/shared_mem_test.cc).
+  static constexpr int kMaxSlots = 4096;
+
   // Wires the simulator clock used for publish timestamps and the staleness
   // model. Without a clock every write is timestamped 0 and immediately
   // visible (standalone unit tests).
@@ -38,10 +44,11 @@ class SharedSchedPage {
 
   // Guest side: publish the next earliest deadline among the RTAs pinned to
   // VCPU `vcpu_index`. kTimeNever means "no time-sensitive work". Negative
-  // indices are ignored (a buggy or malicious guest must not corrupt the
-  // page; see the regression test in tests/shared_mem_test.cc).
+  // and beyond-page indices are ignored (a buggy or malicious guest must not
+  // corrupt the page or grow it without bound; see the regression tests in
+  // tests/shared_mem_test.cc).
   void PublishNextDeadline(int vcpu_index, TimeNs deadline) {
-    if (vcpu_index < 0) {
+    if (vcpu_index < 0 || vcpu_index >= kMaxSlots) {
       return;
     }
     Ensure(vcpu_index);
@@ -89,8 +96,10 @@ class SharedSchedPage {
   // global slice so the guest can align its decisions with the host's.
   // (Host->guest writes are not subject to the staleness model: the host
   // wrote them on the PCPU that will next run the VCPU.)
+  // The same index guards apply: the host plans from validated VCPU objects,
+  // but a hardened boundary does not assume its own side is bug-free.
   void PublishAllocation(int vcpu_index, TimeNs slice_start, TimeNs slice_len) {
-    if (vcpu_index < 0) {
+    if (vcpu_index < 0 || vcpu_index >= kMaxSlots) {
       return;
     }
     Ensure(vcpu_index);

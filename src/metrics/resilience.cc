@@ -56,6 +56,26 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("pcpu", "vcpu_evacuations", c.pcpu_evacuations);
     row("pcpu", "capacity_replans", c.capacity_replans);
   }
+  // Trust-boundary section: appears when adversarial traffic was injected or
+  // any guest_trust defense fired (same byte-identical-when-idle convention).
+  uint64_t trust_any = c.TotalAdversarial() + c.deadline_lie_rejections +
+                       c.deadline_floor_clamps + c.replan_budget_trips +
+                       c.hypercall_rate_rejections + c.bw_thrash_trips + c.quarantines +
+                       c.quarantine_releases + c.quarantine_holds + c.isolation_violations;
+  if (trust_any > 0) {
+    row("trust", "adversarial_deadline_lies", c.adversarial_deadline_lies);
+    row("trust", "adversarial_storm_calls", c.adversarial_storm_calls);
+    row("trust", "adversarial_thrash_calls", c.adversarial_thrash_calls);
+    row("trust", "deadline_lie_rejections", c.deadline_lie_rejections);
+    row("trust", "deadline_floor_clamps", c.deadline_floor_clamps);
+    row("trust", "replan_budget_trips", c.replan_budget_trips);
+    row("trust", "hypercall_rate_rejections", c.hypercall_rate_rejections);
+    row("trust", "bw_thrash_trips", c.bw_thrash_trips);
+    row("trust", "quarantines", c.quarantines);
+    row("trust", "quarantine_releases", c.quarantine_releases);
+    row("trust", "quarantine_holds", c.quarantine_holds);
+    row("trust", "isolation_violations", c.isolation_violations);
+  }
   if (c.audit_checks > 0) {
     row("audit", "checks_run", c.audit_checks);
     row("audit", "violations", c.audit_violations);

@@ -57,12 +57,32 @@ struct ResilienceCounters {
   uint64_t pcpu_evacuations = 0;
   uint64_t capacity_replans = 0;
 
+  // Byzantine-guest containment: adversarial events issued (FaultInjector)
+  // and the guest_trust defenses they ran into (DP-WRAP sanitizer, rate
+  // limiter, quarantine) plus the auditor's isolation-invariant verdict.
+  uint64_t adversarial_deadline_lies = 0;
+  uint64_t adversarial_storm_calls = 0;
+  uint64_t adversarial_thrash_calls = 0;
+  uint64_t deadline_lie_rejections = 0;
+  uint64_t deadline_floor_clamps = 0;
+  uint64_t replan_budget_trips = 0;
+  uint64_t hypercall_rate_rejections = 0;
+  uint64_t bw_thrash_trips = 0;
+  uint64_t quarantines = 0;
+  uint64_t quarantine_releases = 0;
+  uint64_t quarantine_holds = 0;
+  uint64_t isolation_violations = 0;
+
   // Invariant auditor (zero when no auditor was armed).
   uint64_t audit_checks = 0;
   uint64_t audit_violations = 0;
 
   uint64_t TotalInjected() const {
     return injected_failures + injected_drops + outage_failures;
+  }
+
+  uint64_t TotalAdversarial() const {
+    return adversarial_deadline_lies + adversarial_storm_calls + adversarial_thrash_calls;
   }
 };
 

@@ -26,6 +26,122 @@ void DpWrapScheduler::Attach(Machine* machine) {
     overload_event_ =
         machine_->sim()->After(config_.overload.scan_period, [this] { OverloadTick(); });
   }
+  if (config_.guest_trust.enabled) {
+    trust_event_ =
+        machine_->sim()->After(config_.guest_trust.scan_period, [this] { TrustTick(); });
+  }
+}
+
+void DpWrapScheduler::RollTrustWindow(VmTrust& t, TimeNs now) {
+  if (now - t.window_start >= config_.guest_trust.rate_window) {
+    t.window_start = now;
+    t.floor_bindings = 0;
+    t.bw_flips = 0;
+    t.deadlines_distrusted = false;
+  }
+}
+
+void DpWrapScheduler::TrustViolation(VmTrust& t) {
+  t.score += 1.0;
+  t.violated_since_scan = true;
+  if (!t.quarantined && t.score >= config_.guest_trust.quarantine_threshold) {
+    t.quarantined = true;
+    t.clean_scans = 0;
+    ++quarantines_;
+    ScheduleReplan();
+  }
+}
+
+void DpWrapScheduler::TrustTick() {
+  const DpWrapConfig::GuestTrust& gt = config_.guest_trust;
+  // Machine VM-index order, not map order: rehabilitation replans must fire
+  // in a deterministic sequence.
+  for (int i = 0; i < machine_->num_vms(); ++i) {
+    auto it = trust_.find(machine_->vm(i));
+    if (it == trust_.end()) {
+      continue;
+    }
+    VmTrust& t = it->second;
+    t.score *= gt.score_decay;
+    if (t.score < 1e-6) {
+      t.score = 0.0;
+    }
+    if (t.quarantined) {
+      // Hysteresis-governed rehabilitation, mirroring the overload
+      // watermarks and the PCPU heal path: release only after enough
+      // consecutive scans with no violation and a mostly decayed score —
+      // a still-attacking VM keeps resetting the counter itself.
+      if (!t.violated_since_scan && t.score < gt.quarantine_threshold / 2) {
+        if (++t.clean_scans >= gt.rehab_clean_scans) {
+          t.quarantined = false;
+          t.clean_scans = 0;
+          t.score = 0.0;
+          ++quarantine_releases_;
+          ScheduleReplan();
+        }
+      } else {
+        t.clean_scans = 0;
+      }
+    }
+    t.violated_since_scan = false;
+  }
+  trust_event_ = machine_->sim()->After(gt.scan_period, [this] { TrustTick(); });
+}
+
+bool DpWrapScheduler::Quarantined(const Vm* vm) const {
+  auto it = trust_.find(vm);
+  return it != trust_.end() && it->second.quarantined;
+}
+
+int64_t DpWrapScheduler::TrustAdmitHypercall(Vcpu* caller, const HypercallArgs& args) {
+  const DpWrapConfig::GuestTrust& gt = config_.guest_trust;
+  TimeNs now = machine_->sim()->Now();
+  VmTrust& t = TrustOf(caller->vm());
+  RollTrustWindow(t, now);
+  if (!t.bucket_init) {
+    t.bucket_init = true;
+    t.tokens = static_cast<double>(gt.hypercall_burst);
+  } else {
+    t.tokens = std::min(static_cast<double>(gt.hypercall_burst),
+                        t.tokens + static_cast<double>(now - t.token_time) *
+                                       gt.hypercall_rate / 1e9);
+  }
+  t.token_time = now;
+  if (t.tokens < 1.0) {
+    // Exhausted bucket: the existing retry/degraded-fallback machinery
+    // already speaks kHypercallAgain, so a throttled well-behaved guest
+    // backs off and recovers while a storm keeps scoring violations.
+    ++hypercall_rate_rejections_;
+    TrustViolation(t);
+    return kHypercallAgain;
+  }
+  t.tokens -= 1.0;
+  // INC/DEC oscillation abuse: a guest thrashing its reservation up and down
+  // buys a replan per call without ever holding the bandwidth. Direction
+  // flips within the rate window beyond the budget score a violation; the
+  // flip counter re-arms so each trip needs a fresh burst.
+  int dir = args.op == SchedOp::kIncBw ? 1 : args.op == SchedOp::kDecBw ? -1 : 0;
+  if (dir != 0) {
+    if (t.last_bw_dir != 0 && dir != t.last_bw_dir &&
+        ++t.bw_flips > gt.max_bw_flips) {
+      t.bw_flips = 0;
+      ++bw_thrash_trips_;
+      TrustViolation(t);
+    }
+    t.last_bw_dir = dir;
+  }
+  if (t.quarantined) {
+    // Bandwidth-only scheduling: the VM keeps exactly what it holds. Raises
+    // are admission-held until rehabilitation, and even shrinks are frozen —
+    // every accepted reservation change forces an immediate replan, so a
+    // quarantined guest alternating cheap DEC calls could keep restarting
+    // the global slice and starve its neighbors through the quarantine. The
+    // held bandwidth is merely wasteful (bounded by what admission already
+    // granted); the shrink retries and lands after release.
+    ++quarantine_holds_;
+    return kHypercallAgain;
+  }
+  return kHypercallOk;
 }
 
 void DpWrapScheduler::OverloadTick() {
@@ -238,10 +354,56 @@ void DpWrapScheduler::Replan() {
 
   slice_start_ = now;
   TimeNs next_gd = now + config_.max_global_slice;
-  for (const auto& [v, res] : reservations_) {
+  bool trust_on = config_.guest_trust.enabled;
+  TimeNs floor = config_.guest_trust.floor(config_.min_global_slice);
+  for (auto& [v, res] : reservations_) {
     const SharedSchedPage& page = v->vm()->shared_page();
     TimeNs cand = page.next_deadline(v->index());
-    if (config_.watchdog.freshness_horizon > 0 && cand < kTimeNever) {
+    bool distrusted = false;
+    if (trust_on && cand < kTimeNever) {
+      VmTrust& t = TrustOf(v->vm());
+      RollTrustWindow(t, now);
+      TimeNs published = page.last_publish_time(v->index());
+      // A deadline already stale by more than the reservation's own period
+      // when it was published is a lie, not lateness: an honest backlogged
+      // guest publishes its (slightly) past head deadline under transient
+      // overload, but never one a whole period expired — scoring mild
+      // staleness would quarantine exactly the victims an attack makes
+      // tardy. Score once per publication — the slot value persists across
+      // replans and must not be re-counted, or a VM could never
+      // rehabilitate after the attack stops. The bogus value itself is
+      // neutralized by the sporadic fallback below either way. Publications
+      // merely *below the floor* are normal (a completing job publishes its
+      // next release, which can be arbitrarily close): clamp + count, no
+      // score.
+      if (published >= 0 && cand < published - res.period &&
+          published != res.last_lie_publish) {
+        res.last_lie_publish = published;
+        ++deadline_lie_rejections_;
+        TrustViolation(t);
+      } else if (published >= 0 && cand > now && cand - published < floor) {
+        cand = std::max(cand, now + floor);
+        ++deadline_floor_clamps_;
+      }
+      if (t.quarantined || t.deadlines_distrusted) {
+        distrusted = true;
+      } else if (cand <= now + floor && published >= 0 &&
+                 published != res.last_floor_publish) {
+        // Replan-rate budget: each *fresh* publication that binds the global
+        // slice at the floor spends one of the window's floor bindings. A
+        // guest oscillating fast enough to exhaust it is forcing the planner
+        // to replan at the maximum rate — distrust its slots for the rest of
+        // the window.
+        res.last_floor_publish = published;
+        if (++t.floor_bindings > config_.guest_trust.max_floor_bindings) {
+          t.deadlines_distrusted = true;
+          ++replan_budget_trips_;
+          TrustViolation(t);
+          distrusted = true;
+        }
+      }
+    }
+    if (!distrusted && config_.watchdog.freshness_horizon > 0 && cand < kTimeNever) {
       // Distrust a deadline the guest has not refreshed within the horizon:
       // the guest may be wedged (or its publication lost), and honoring an
       // ancient promise would let the host under-serve everyone else.
@@ -250,6 +412,9 @@ void DpWrapScheduler::Replan() {
         ++stale_rejections_;
         cand = 0;  // Forces the sporadic worst case below.
       }
+    }
+    if (distrusted) {
+      cand = 0;  // Bandwidth-only scheduling: the slot gets the worst case.
     }
     if (cand <= now) {
       // Stale publication: apply the sporadic worst case — the VCPU's RTAs
@@ -676,7 +841,12 @@ int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs perio
 }
 
 int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
-  (void)caller;
+  if (config_.guest_trust.enabled && caller != nullptr) {
+    int64_t trc = TrustAdmitHypercall(caller, args);
+    if (trc != kHypercallOk) {
+      return trc;
+    }
+  }
   if (args.vcpu_a == nullptr) {
     return kHypercallInvalid;
   }
@@ -853,6 +1023,53 @@ std::vector<std::string> DpWrapScheduler::AuditPlan() const {
     if (alloc > bound) {
       std::snprintf(buf, sizeof(buf),
                     "vcpu %d allocated %lld ns in a %lld ns slice, above bound %lld ns",
+                    v->index(), static_cast<long long>(alloc),
+                    static_cast<long long>(slice_len), static_cast<long long>(bound));
+      violations.emplace_back(buf);
+    }
+  }
+  return violations;
+}
+
+std::vector<std::string> DpWrapScheduler::AuditIsolation() const {
+  std::vector<std::string> violations;
+  if (!config_.guest_trust.enabled || replan_pending_) {
+    // Nothing to isolate from without the trust boundary, and a plan that is
+    // mid-transition cannot be judged.
+    return violations;
+  }
+  for (int k = 0; k < machine_->num_pcpus(); ++k) {
+    const Pcpu* pc = machine_->pcpu(k);
+    if (!pc->online() || pc->speed_ppb() != Bandwidth::kUnit) {
+      // Degraded capacity legitimately shrinks everyone's allocation; the
+      // pcpu-recovery audit owns that regime.
+      return violations;
+    }
+  }
+  // Isolation lower bound: every reservation owned by a well-behaved
+  // (non-quarantined, non-crashed) VM must receive at least its fluid share
+  // of the current slice, regardless of what the quarantined VM does. The
+  // tolerance covers the per-reservation carry trimming (< 1 ns each) plus
+  // the floor division of SliceOf.
+  TimeNs slice_len = slice_end_ - slice_start_;
+  TimeNs tolerance = static_cast<TimeNs>(reservations_.size()) + 1;
+  char buf[256];
+  for (const auto& [v, res] : reservations_) {
+    if (v->vm()->crashed() || Quarantined(v->vm())) {
+      continue;
+    }
+    TimeNs alloc = 0;
+    auto segs = vcpu_segments_.find(v);
+    if (segs != vcpu_segments_.end()) {
+      for (const PlanSegment& s : segs->second) {
+        alloc += s.end - s.start;
+      }
+    }
+    TimeNs bound = res.EffectiveBw().SliceOf(slice_len);
+    if (alloc + tolerance < bound) {
+      std::snprintf(buf, sizeof(buf),
+                    "vcpu %d (well-behaved VM) planned %lld ns of a %lld ns slice, "
+                    "below its fluid share %lld ns",
                     v->index(), static_cast<long long>(alloc),
                     static_cast<long long>(slice_len), static_cast<long long>(bound));
       violations.emplace_back(buf);

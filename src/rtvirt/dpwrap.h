@@ -25,6 +25,8 @@
 
 namespace rtvirt {
 
+class Vm;
+
 struct DpWrapConfig {
   // Lower bound on the interval between global deadlines, bounding the
   // scheduling overhead (paper: 250 us, empirically set for the hardware).
@@ -97,6 +99,54 @@ struct DpWrapConfig {
   };
   PcpuRecovery pcpu_recovery;
 
+  // Byzantine-guest containment (trust boundary for the cross-layer
+  // interface): the paper's protocol has the host *trust* guest-published
+  // deadlines and bandwidth requests. When enabled, three defenses keep one
+  // adversarial VM from destroying co-resident guarantees:
+  //   (1) a deadline sanitizer on shared-page reads — publications already in
+  //       the past when written are distrusted and scored; publications whose
+  //       horizon at publish time is below the floor are clamped (clamps are
+  //       benign-common near period boundaries and are counted, not scored);
+  //       a VM whose fresh publications bind the global slice at the floor
+  //       more than max_floor_bindings times per rate_window loses deadline
+  //       trust for the window remainder (replan-rate budget);
+  //   (2) a per-VM hypercall token bucket returning kHypercallAgain on
+  //       exhaustion (the guest channel's retry/degraded machinery already
+  //       speaks that protocol), plus INC/DEC oscillation-abuse detection;
+  //   (3) a per-VM reputation score with a quarantine state machine: scores
+  //       decay every scan; crossing quarantine_threshold demotes the VM to
+  //       bandwidth-only scheduling (deadline slots ignored, bandwidth raises
+  //       admission-held) until rehab_clean_scans consecutive violation-free
+  //       scans rehabilitate it (hysteresis, like the overload watermarks).
+  struct GuestTrust {
+    bool enabled = false;
+    // Sanitizer floor on the publish-time horizon of a deadline; 0 derives
+    // it from min_global_slice (the replan-rate bound it protects).
+    TimeNs deadline_floor = 0;
+    // Replan-rate budget: fresh publications from one VM binding the global
+    // slice at/below the floor, per rate_window.
+    TimeNs rate_window = Ms(100);
+    int max_floor_bindings = 128;
+    // Token bucket: sustained hypercalls/second and burst, per VM.
+    double hypercall_rate = 2000.0;
+    int hypercall_burst = 64;
+    // INC_BW/DEC_BW direction flips tolerated per rate_window before an
+    // oscillation-abuse violation is scored.
+    int max_bw_flips = 32;
+    // Reputation scan cadence, per-scan score decay factor, the score at
+    // which a VM is quarantined (each violation adds 1), and how many
+    // consecutive clean scans rehabilitate a quarantined VM.
+    TimeNs scan_period = Ms(10);
+    double score_decay = 0.8;
+    double quarantine_threshold = 8.0;
+    int rehab_clean_scans = 20;
+
+    TimeNs floor(TimeNs min_global_slice) const {
+      return deadline_floor > 0 ? deadline_floor : min_global_slice;
+    }
+  };
+  GuestTrust guest_trust;
+
   // Watchdog (fault model): periodically reclaims the reservations of
   // crashed VMs (their guests cannot issue DEC_BW anymore — the bandwidth is
   // orphaned until the host takes it back) and optionally distrusts shared-
@@ -157,6 +207,16 @@ class DpWrapScheduler : public HostScheduler {
   uint64_t stale_rejections() const { return stale_rejections_; }
   // Re-plans triggered by PCPU capacity events (pcpu_recovery only).
   uint64_t capacity_replans() const { return capacity_replans_; }
+  // Byzantine-guest containment introspection (guest_trust only).
+  uint64_t deadline_lie_rejections() const { return deadline_lie_rejections_; }
+  uint64_t deadline_floor_clamps() const { return deadline_floor_clamps_; }
+  uint64_t replan_budget_trips() const { return replan_budget_trips_; }
+  uint64_t hypercall_rate_rejections() const { return hypercall_rate_rejections_; }
+  uint64_t bw_thrash_trips() const { return bw_thrash_trips_; }
+  uint64_t quarantines() const { return quarantines_; }
+  uint64_t quarantine_releases() const { return quarantine_releases_; }
+  uint64_t quarantine_holds() const { return quarantine_holds_; }
+  bool Quarantined(const Vm* vm) const;
   // Overload-pressure introspection.
   bool pressure() const { return pressure_; }
   uint64_t pressure_raises() const { return pressure_raises_; }
@@ -179,6 +239,15 @@ class DpWrapScheduler : public HostScheduler {
   // Returns human-readable violation descriptions; empty when consistent.
   std::vector<std::string> AuditPlan() const;
 
+  // Isolation invariant (guest_trust only): every reservation owned by a
+  // non-quarantined, non-crashed VM receives at least its fluid share of the
+  // current slice — a quarantined (or any other) VM's behavior must never
+  // depress a well-behaved VM's planned allocation. Complements AuditPlan's
+  // upper bound. Empty when the knob is off, a replan is pending, or the
+  // machine is degraded (capacity shortfalls are the pressure protocol's
+  // business, not an isolation question).
+  std::vector<std::string> AuditIsolation() const;
+
  private:
   struct Reservation {
     Vcpu* vcpu = nullptr;
@@ -193,6 +262,10 @@ class DpWrapScheduler : public HostScheduler {
     // currently applied to the claimed bandwidth.
     TimeNs used_in_window = 0;
     double tax_factor = 1.0;
+    // Trust sanitizer: publish timestamps already charged, so one bad
+    // publication scores once, not once per replan that re-reads the slot.
+    TimeNs last_lie_publish = -1;
+    TimeNs last_floor_publish = -1;
 
     Bandwidth EffectiveBw() const {
       return tax_factor >= 1.0
@@ -224,6 +297,38 @@ class DpWrapScheduler : public HostScheduler {
   // Periodic overload scan: updates the pressure state from the watermarks
   // and recent admission rejections, publishing it to every VM's page.
   void OverloadTick();
+
+  // ---- Byzantine-guest containment (guest_trust) ----
+  // Per-VM trust state: token bucket, rate windows, reputation, quarantine.
+  struct VmTrust {
+    // Hypercall token bucket.
+    double tokens = 0.0;
+    TimeNs token_time = 0;
+    bool bucket_init = false;
+    // Sliding rate window (floor bindings, INC/DEC flips, window distrust).
+    TimeNs window_start = 0;
+    int floor_bindings = 0;
+    int bw_flips = 0;
+    int last_bw_dir = 0;  // +1 after INC_BW, -1 after DEC_BW, 0 unknown.
+    bool deadlines_distrusted = false;  // Budget tripped; clears on window roll.
+    // Reputation / quarantine state machine.
+    double score = 0.0;
+    bool quarantined = false;
+    int clean_scans = 0;
+    bool violated_since_scan = false;
+  };
+  VmTrust& TrustOf(const Vm* vm) { return trust_[vm]; }
+  void RollTrustWindow(VmTrust& t, TimeNs now);
+  // Scores one violation; crossing the threshold quarantines immediately
+  // (containment latency is the whole point) and schedules a replan so the
+  // attacker's deadline influence ends with this event, not the next scan.
+  void TrustViolation(VmTrust& t);
+  // Token bucket + oscillation detection + quarantine admission hold; called
+  // at the top of Hypercall. kHypercallOk admits the call to the dispatcher.
+  int64_t TrustAdmitHypercall(Vcpu* caller, const HypercallArgs& args);
+  // Periodic reputation scan: decays scores and rehabilitates quarantined
+  // VMs after enough consecutive clean scans.
+  void TrustTick();
 
   DpWrapConfig config_;
   Bandwidth capacity_;
@@ -266,6 +371,19 @@ class DpWrapScheduler : public HostScheduler {
     Bandwidth bw;
   };
   std::deque<HeldDemand> held_demand_;
+
+  // Byzantine-guest containment state. Only ever iterated through the
+  // machine's VM index order (TrustTick); map lookups are by pointer.
+  std::unordered_map<const Vm*, VmTrust> trust_;
+  Simulator::EventId trust_event_;
+  uint64_t deadline_lie_rejections_ = 0;   // Past-at-publish publications scored.
+  uint64_t deadline_floor_clamps_ = 0;     // Below-floor horizons clamped (not scored).
+  uint64_t replan_budget_trips_ = 0;       // Floor-binding budget exhaustions.
+  uint64_t hypercall_rate_rejections_ = 0; // Token-bucket kHypercallAgain returns.
+  uint64_t bw_thrash_trips_ = 0;           // INC/DEC oscillation violations.
+  uint64_t quarantines_ = 0;
+  uint64_t quarantine_releases_ = 0;
+  uint64_t quarantine_holds_ = 0;          // Bandwidth raises held while quarantined.
 };
 
 }  // namespace rtvirt

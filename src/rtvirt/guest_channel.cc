@@ -65,7 +65,12 @@ int64_t RtvirtGuestChannel::TryHypercall(Vcpu* caller, const HypercallArgs& args
       return rc;
     }
     ++stats_.transient_failures;
-    backoff = static_cast<TimeNs>(static_cast<double>(backoff) * options_.retry_backoff_mult);
+    // Same saturation as the repair loop: without the cap, a long kAgain
+    // streak (e.g. a rate-limited or quarantined VM) grows the charged
+    // backoff geometrically without bound.
+    backoff = std::min(
+        static_cast<TimeNs>(static_cast<double>(backoff) * options_.retry_backoff_mult),
+        options_.repair_backoff_max);
   }
   return rc;
 }

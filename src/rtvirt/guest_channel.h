@@ -54,7 +54,8 @@ struct GuestChannelOptions {
   double retry_backoff_mult = 2.0;
   // Enter degraded mode instead of failing when retries are exhausted.
   bool degraded_fallback = false;
-  // Upper bound on the repair loop's exponential probe interval.
+  // Upper bound on both exponential backoffs: the repair loop's probe
+  // interval and the in-call retry interval saturate here.
   TimeNs repair_backoff_max = Ms(100);
 };
 

@@ -122,11 +122,15 @@ ResilienceCounters Experiment::resilience() const {
     c.pcpu_online_events = f.pcpu_online_events;
     c.pcpu_degrade_events = f.pcpu_degrade_events;
     c.pcpu_heal_events = f.pcpu_heal_events;
+    c.adversarial_deadline_lies = f.deadline_lies;
+    c.adversarial_storm_calls = f.storm_calls;
+    c.adversarial_thrash_calls = f.thrash_calls;
   }
   c.pcpu_evacuations = machine_->pcpu_evacuations();
   if (auditor_ != nullptr) {
     c.audit_checks = auditor_->checks_run();
     c.audit_violations = auditor_->total_violations();
+    c.isolation_violations = auditor_->isolation_violations();
   }
   for (RtvirtGuestChannel* ch : channels_) {
     if (ch == nullptr) {
@@ -149,6 +153,14 @@ ResilienceCounters Experiment::resilience() const {
     c.pressure_clears = dpwrap_->pressure_clears();
     c.admission_rejections = dpwrap_->admission_rejections();
     c.shed_releases = dpwrap_->shed_releases();
+    c.deadline_lie_rejections = dpwrap_->deadline_lie_rejections();
+    c.deadline_floor_clamps = dpwrap_->deadline_floor_clamps();
+    c.replan_budget_trips = dpwrap_->replan_budget_trips();
+    c.hypercall_rate_rejections = dpwrap_->hypercall_rate_rejections();
+    c.bw_thrash_trips = dpwrap_->bw_thrash_trips();
+    c.quarantines = dpwrap_->quarantines();
+    c.quarantine_releases = dpwrap_->quarantine_releases();
+    c.quarantine_holds = dpwrap_->quarantine_holds();
   }
   for (const auto& g : guests_) {
     const GuestOverloadStats& s = g->overload_stats();

@@ -16,6 +16,7 @@
 #include "src/metrics/deadline_monitor.h"
 #include "src/runner/experiment.h"
 #include "src/workloads/churn.h"
+#include "src/workloads/periodic.h"
 
 namespace rtvirt {
 namespace {
@@ -114,6 +115,81 @@ TEST(Determinism, SameSeedAndFaultPlanReproduceByteIdenticalReports) {
   EXPECT_EQ(a.rc.compressions, b.rc.compressions);
   EXPECT_EQ(a.rc.expansions, b.rc.expansions);
   EXPECT_EQ(a.rc.audit_checks, b.rc.audit_checks);
+}
+
+// Trust-boundary PR: the adversarial-guest events draw no RNG and the trust
+// state machine iterates VMs in machine index order, so the same seed and
+// the same adversarial plan must reproduce byte-identical reports — lies,
+// storms, thrash, quarantines, rehabilitations and all.
+RunResult RunAdversarialOnce() {
+  ExperimentConfig cfg = FaultyConfig();
+  cfg.dpwrap.guest_trust.enabled = true;
+  for (auto kind : {FaultPlan::AdversarialGuest::Kind::kDeadlineLies,
+                    FaultPlan::AdversarialGuest::Kind::kHypercallStorm,
+                    FaultPlan::AdversarialGuest::Kind::kBandwidthThrash}) {
+    FaultPlan::AdversarialGuest a;
+    a.kind = kind;
+    a.vm_index = 2;
+    a.start = Ms(500);
+    a.end = Sec(3);
+    a.period = kind == FaultPlan::AdversarialGuest::Kind::kHypercallStorm ? Us(100)
+               : kind == FaultPlan::AdversarialGuest::Kind::kDeadlineLies ? Us(200)
+                                                                          : Us(500);
+    a.thrash_high = Bandwidth::FromDouble(0.15);
+    cfg.faults.adversarial_guests.push_back(a);
+  }
+
+  Experiment exp(cfg);
+  GuestConfig gcfg;
+  gcfg.overload.enabled = true;
+  GuestOs* hi = exp.AddGuest("hi", 6, gcfg);
+  exp.AddGuest("lo", 4, gcfg);  // Fills VM index 1; the plan targets index 2.
+  GuestOs* byz = exp.AddGuest("byz", 2);
+  PeriodicRta cover(byz, "cover", RtaParams{Ms(1), Ms(10)});
+  cover.Start(0, kRun);
+
+  ChurnConfig hi_cfg;
+  hi_cfg.experiment_len = kRun;
+  hi_cfg.criticality = Criticality::kHigh;
+  hi_cfg.profile = RtaParams{Us(2250), Ms(10)};
+  hi_cfg.admission_retry = Ms(50);
+  DeadlineMonitor hi_mon;
+  ChurnDriver hi_churn(hi, hi_cfg, Rng(977), &hi_mon);
+  hi_churn.Start();
+  exp.Run(kRun);
+
+  RunResult r;
+  std::ostringstream out;
+  exp.PrintReport(out, "determinism-adversarial");
+  out << "hi completed=" << hi_mon.total_completed() << " misses=" << hi_mon.total_misses()
+      << "\n";
+  r.report = out.str();
+  r.rc = exp.resilience();
+  r.events = exp.sim().events_processed();
+  return r;
+}
+
+TEST(Determinism, SameSeedAndAdversarialPlanReproduceByteIdenticalReports) {
+  RunResult a = RunAdversarialOnce();
+  RunResult b = RunAdversarialOnce();
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.events, b.events);
+
+  // The attack and every defense actually fired (vacuity guard)...
+  EXPECT_GT(a.rc.adversarial_deadline_lies, 0u);
+  EXPECT_GT(a.rc.adversarial_storm_calls, 0u);
+  EXPECT_GT(a.rc.adversarial_thrash_calls, 0u);
+  EXPECT_GT(a.rc.deadline_lie_rejections, 0u);
+  EXPECT_GT(a.rc.hypercall_rate_rejections, 0u);
+  EXPECT_GE(a.rc.quarantines, 1u);
+
+  // ...and the trust pipeline's counters match exactly across runs.
+  EXPECT_EQ(a.rc.deadline_lie_rejections, b.rc.deadline_lie_rejections);
+  EXPECT_EQ(a.rc.hypercall_rate_rejections, b.rc.hypercall_rate_rejections);
+  EXPECT_EQ(a.rc.bw_thrash_trips, b.rc.bw_thrash_trips);
+  EXPECT_EQ(a.rc.quarantines, b.rc.quarantines);
+  EXPECT_EQ(a.rc.quarantine_releases, b.rc.quarantine_releases);
+  EXPECT_EQ(a.rc.quarantine_holds, b.rc.quarantine_holds);
 }
 
 TEST(Determinism, DifferentWorkloadSeedStillRunsCleanUnderFaults) {

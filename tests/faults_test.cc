@@ -348,5 +348,92 @@ TEST(Staleness, InjectorDelaysGuestPublicationVisibility) {
   EXPECT_EQ(page.last_publish_time(0), Ms(1));
 }
 
+// ---- Plan validation (trust-boundary PR) ----
+//
+// Every VM-indexed event class is bounds-checked against the machine's VM
+// count, and the error names the offending entry — a misconfigured sweep
+// fails at Arm() with a usable message instead of dereferencing a missing VM
+// mid-run.
+
+TEST(PlanValidation, AdversarialGuestVmIndexOutOfRangeNamesEntry) {
+  FaultPlan plan;
+  FaultPlan::AdversarialGuest ok;
+  ok.kind = FaultPlan::AdversarialGuest::Kind::kDeadlineLies;
+  ok.vm_index = 0;
+  ok.start = Ms(1);
+  ok.end = Ms(2);
+  plan.adversarial_guests.push_back(ok);
+  FaultPlan::AdversarialGuest bad = ok;
+  bad.vm_index = 7;
+  plan.adversarial_guests.push_back(bad);
+  std::string err = plan.Validate(/*num_pcpus=*/4, /*num_vms=*/2);
+  EXPECT_NE(err.find("adversarial_guests[1]"), std::string::npos) << err;
+  EXPECT_NE(err.find("vm index out of range"), std::string::npos) << err;
+  bad.vm_index = -1;
+  plan.adversarial_guests.back() = bad;
+  err = plan.Validate(/*num_pcpus=*/4, /*num_vms=*/-1);  // Unknown VM count.
+  EXPECT_NE(err.find("adversarial_guests[1]"), std::string::npos)
+      << "negative indices are rejected even when the VM count is unknown: " << err;
+}
+
+TEST(PlanValidation, VmFailureIndexOutOfRangeNamesEntry) {
+  FaultPlan plan;
+  plan.vm_failures.push_back({/*vm_index=*/3, /*crash_at=*/Ms(1), /*restart_at=*/Ms(2)});
+  std::string err = plan.Validate(/*num_pcpus=*/4, /*num_vms=*/2);
+  EXPECT_NE(err.find("vm_failures[0]"), std::string::npos) << err;
+  EXPECT_NE(err.find("vm index out of range"), std::string::npos) << err;
+}
+
+TEST(PlanValidation, AdversarialCampaignShapeChecks) {
+  FaultPlan plan;
+  FaultPlan::AdversarialGuest a;
+  a.kind = FaultPlan::AdversarialGuest::Kind::kHypercallStorm;
+  a.vm_index = 0;
+  a.start = Ms(5);
+  a.end = Ms(5);  // Empty window.
+  plan.adversarial_guests.push_back(a);
+  EXPECT_NE(plan.Validate(4, 1).find("empty or negative campaign window"),
+            std::string::npos);
+  plan.adversarial_guests[0].end = Ms(10);
+  plan.adversarial_guests[0].period = 0;  // No cadence.
+  EXPECT_NE(plan.Validate(4, 1).find("non-positive event cadence"), std::string::npos);
+  plan.adversarial_guests[0].period = Us(100);
+  plan.adversarial_guests[0].kind = FaultPlan::AdversarialGuest::Kind::kBandwidthThrash;
+  plan.adversarial_guests[0].thrash_low = Bandwidth::FromDouble(0.3);
+  plan.adversarial_guests[0].thrash_high = Bandwidth::FromDouble(0.1);  // Out of order.
+  EXPECT_NE(plan.Validate(4, 1).find("thrash bandwidths out of order"), std::string::npos);
+  plan.adversarial_guests[0].thrash_high = Bandwidth::FromDouble(0.5);
+  EXPECT_EQ(plan.Validate(4, 1), "");
+}
+
+// ---- In-call retry backoff saturation ----
+
+// Regression: the synchronous retry loop used to double the charged backoff
+// without bound — a long kHypercallAgain streak (a rate-limited or
+// quarantined VM) with a generous retry budget would charge geometrically
+// growing virtual time to the hypercall account. The loop now saturates at
+// repair_backoff_max like the asynchronous repair path.
+TEST(ChannelRetry, InCallBackoffSaturatesAtRepairMax) {
+  ExperimentConfig cfg = ResilientConfig(2);
+  cfg.channel.max_retries = 6;
+  cfg.channel.retry_backoff = Us(50);
+  cfg.channel.retry_backoff_mult = 2.0;
+  cfg.channel.repair_backoff_max = Us(200);
+  cfg.channel.degraded_fallback = false;  // Isolate the in-call retry loop.
+  Experiment exp(cfg);
+  GuestOs* g = exp.AddGuest("vm", 1);
+  exp.machine().SetHypercallInterceptor([](Vcpu*, const HypercallArgs&) {
+    Machine::HypercallFault f;
+    f.action = Machine::HypercallFault::Action::kFail;  // Every call: kAgain.
+    return f;
+  });
+  Task* t = g->CreateTask("t");
+  EXPECT_EQ(g->SchedSetAttr(t, RtaParams{Ms(2), Ms(10), false}), kGuestErrBusy);
+  const ChannelStats& st = exp.ChannelOf(g)->stats();
+  EXPECT_EQ(st.retries, 6u);
+  // Charged intervals: 50 + 100 + 200 + 200 + 200 + 200 — capped, not 50<<k.
+  EXPECT_EQ(st.backoff_time, Us(950));
+}
+
 }  // namespace
 }  // namespace rtvirt

@@ -46,6 +46,23 @@ TEST(SharedSchedPage, NegativeIndexAccessIsIgnored) {
   EXPECT_EQ(page.next_deadline(0), Ms(3));
 }
 
+// The negative-index guard's mirror image (trust-boundary PR): an index at or
+// beyond the one-page slot cap is ignored on both publish paths, so a
+// corrupted or malicious index cannot grow the backing vector into an
+// allocation attack.
+TEST(SharedSchedPage, BeyondCapIndexAccessIsIgnored) {
+  SharedSchedPage page;
+  page.PublishNextDeadline(SharedSchedPage::kMaxSlots, Ms(1));
+  page.PublishNextDeadline(SharedSchedPage::kMaxSlots + 123456789, Ms(2));
+  page.PublishAllocation(SharedSchedPage::kMaxSlots, Ms(5), Us(250));
+  EXPECT_EQ(page.next_deadline(SharedSchedPage::kMaxSlots), kTimeNever);
+  EXPECT_EQ(page.last_publish_time(SharedSchedPage::kMaxSlots + 123456789), -1);
+  EXPECT_EQ(page.allocation_length(SharedSchedPage::kMaxSlots), 0);
+  // The last in-cap slot still works.
+  page.PublishNextDeadline(SharedSchedPage::kMaxSlots - 1, Ms(3));
+  EXPECT_EQ(page.next_deadline(SharedSchedPage::kMaxSlots - 1), Ms(3));
+}
+
 TEST(SharedSchedPage, LastPublishTimeTracksVisibleWrite) {
   SharedSchedPage page;
   EXPECT_EQ(page.last_publish_time(0), -1);  // Never written.
