@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/analysis/carts.h"
+#include "src/perf/perf_recorder.h"
+#include "src/perf/perf_report.h"
 #include "src/rtvirt/wrap_layout.h"
 #include "src/runner/experiment.h"
 #include "src/sim/event_queue.h"
@@ -150,7 +153,75 @@ void BM_GuestEdfJobCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_GuestEdfJobCycle)->Arg(1)->Arg(10);
 
+// Forwards everything to the normal console output while capturing each
+// run's per-iteration real time, so --perf_json can serialize the results
+// into the shared BENCH_*.json schema after the run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double ns_per_iter;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      double iters = run.iterations == 0 ? 1 : static_cast<double>(run.iterations);
+      captured_.push_back(Captured{run.benchmark_name(),
+                                   run.real_accumulated_time * 1e9 / iters});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 }  // namespace rtvirt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --perf_json=PATH is ours; everything else passes through to the
+  // google-benchmark flag parser (--benchmark_filter etc.).
+  std::string perf_json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--perf_json=", 0) == 0) {
+      perf_json = arg.substr(12);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  rtvirt::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!perf_json.empty()) {
+    rtvirt::perf::PerfReport report;
+    report.suite = "micro_sched_ops";
+    for (const auto& c : reporter.captured()) {
+      std::string name = c.name;
+      for (char& ch : name) {
+        if (ch == '/') {
+          ch = '.';  // BM_WrapLayout/20 -> BM_WrapLayout.20
+        }
+      }
+      report.Add(name + ".ns_per_iter", c.ns_per_iter, "ns", false, 0.5);
+    }
+    report.Add("peak_rss_kb", static_cast<double>(rtvirt::perf::PeakRssKb()),
+               "KiB", false, 0.5);
+    if (!report.WriteFile(perf_json)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,338 @@
+// Perf harness for the discrete-event core: runs micro_sched_ops- and
+// tab6_scalability-shaped workloads through the PerfRecorder and emits the
+// schema-versioned BENCH_perf_suite.json that perf_gate diffs against the
+// committed baseline (see DESIGN.md §5 for the schema and re-baselining).
+//
+// Phases:
+//   * tab6_shape.{calendar,heap} — the Table 6 event pattern (periodic RTAs
+//     with Table 5 periods, a budget timer per release that the next release
+//     cancels) driven through the raw EventQueue, swept over the Table 6
+//     scales (100 / 1000 / 10000 timers, equal pops each). This is the pure
+//     event-core measurement: the calendar backend must clear 5x the heap's
+//     events/sec across the sweep and must allocate nothing after warm-up
+//     (hard assert).
+//   * cancel_churn.{calendar,heap} — schedule+cancel pairs over a live set,
+//     the pattern that used to grow the heap without bound.
+//   * sched_op.{calendar,heap} — bare schedule+pop round trips.
+//   * replan — the BM_DpWrapGlobalSlice shape (100 reserved VCPUs, 1 ms
+//     global slices) measuring wall-clock ns per DP-WRAP replan.
+//   * tab6_sim.{calendar,heap} — the full single-RTA-VMs experiment at
+//     reduced duration, measuring end-to-end simulated events/sec + peak RSS.
+//
+// Flags: --out=PATH (default BENCH_perf_suite.json), --scale=F (work
+// multiplier for quick local runs; the committed baseline uses 1.0).
+// Exits nonzero if the zero-alloc steady-state assertion fails.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/perf/alloc_hooks.h"
+#include "src/perf/perf_recorder.h"
+#include "src/perf/perf_report.h"
+#include "src/runner/experiment.h"
+#include "src/sim/event_queue.h"
+#include "src/workloads/groups.h"
+#include "src/workloads/periodic.h"
+
+namespace rtvirt {
+namespace {
+
+using perf::PerfRecorder;
+using perf::PerfReport;
+using perf::PhaseResult;
+
+// The Table 6 scale sweep: timer counts matching the paper's small / mid /
+// large VM populations. The heap's O(log n) sift cost grows down this list
+// while the calendar stays O(1), which is exactly the scalability argument.
+constexpr int kShapeSweep[] = {100, 1000, 10000, 100000};
+
+// The Table 6 event pattern on a raw queue: every release pop reschedules
+// itself one period out, schedules a budget-enforcement timer just past the
+// next release, and cancels the previous budget timer (which therefore never
+// fires — the dominant cancel pattern of the VCPU budget machinery).
+// Callbacks capture (ShapeSim*, int) — 12 bytes, inside std::function's
+// small-object buffer, so the steady state allocates nothing.
+class ShapeSim {
+ public:
+  ShapeSim(EventQueueKind kind, int timers) : q_(kind) {
+    timers_.resize(static_cast<size_t>(timers));
+    for (int i = 0; i < timers; ++i) {
+      timers_[static_cast<size_t>(i)].period =
+          kTable5Groups[static_cast<size_t>(i) % kTable5Groups.size()].period;
+      ShapeSim* self = this;
+      q_.Schedule(timers_[static_cast<size_t>(i)].period * (i + 1) / timers,
+                  [self, i] { self->OnRelease(i); });
+    }
+  }
+
+  // Pops (and handles) `pops` release events; returns total queue ops.
+  uint64_t Pump(uint64_t pops) {
+    uint64_t ops = 0;
+    for (uint64_t k = 0; k < pops; ++k) {
+      EventQueue::Fired fired = q_.PopNext();
+      now_ = fired.time;
+      fired.callback();
+      ops += 4;  // The pop, the cancel, and the two schedules it triggered.
+    }
+    return ops;
+  }
+
+  const EventQueue& queue() const { return q_; }
+
+ private:
+  struct Timer {
+    TimeNs period = 0;
+    EventQueue::EventId budget;
+  };
+
+  void OnRelease(int i) {
+    Timer& t = timers_[static_cast<size_t>(i)];
+    q_.Cancel(t.budget);
+    t.budget = q_.Schedule(now_ + t.period + kNsPerUs, [] {});
+    ShapeSim* self = this;
+    q_.Schedule(now_ + t.period, [self, i] { self->OnRelease(i); });
+  }
+
+  EventQueue q_;
+  TimeNs now_ = 0;
+  std::vector<Timer> timers_;
+};
+
+const char* KindName(EventQueueKind kind) {
+  return kind == EventQueueKind::kCalendar ? "calendar" : "heap";
+}
+
+PhaseResult RunTab6Shape(PerfRecorder& rec, EventQueueKind kind, uint64_t pops_per_scale) {
+  // Build and warm every scale before the measured window opens: each sim
+  // must have fired all timers at least once (budget ids populated, arena
+  // chunks carved, calendar resizes settled) so the window is steady state.
+  std::vector<std::unique_ptr<ShapeSim>> sims;
+  for (int timers : kShapeSweep) {
+    sims.push_back(std::make_unique<ShapeSim>(kind, timers));
+    sims.back()->Pump(std::max<uint64_t>(4 * static_cast<uint64_t>(timers),
+                                         pops_per_scale / 10));
+  }
+  std::vector<std::string> scale_keys;  // Built outside the measured window.
+  for (int timers : kShapeSweep) {
+    scale_keys.push_back("ns_per_pop.n" + std::to_string(timers));
+  }
+  rec.Begin(std::string("tab6_shape.") + KindName(kind));
+  uint64_t ops = 0;
+  for (size_t s = 0; s < sims.size(); ++s) {
+    uint64_t t0 = perf::MonotonicNowNs();
+    ops += sims[s]->Pump(pops_per_scale);
+    rec.Count(scale_keys[s], static_cast<double>(perf::MonotonicNowNs() - t0) /
+                                 static_cast<double>(pops_per_scale));
+  }
+  rec.Count("pops", static_cast<double>(pops_per_scale * sims.size()));
+  return rec.End(ops);
+}
+
+PhaseResult RunCancelChurn(PerfRecorder& rec, EventQueueKind kind, uint64_t iters) {
+  EventQueue q(kind);
+  TimeNs t = 0;
+  for (int i = 0; i < 128; ++i) {
+    q.Schedule(++t + Ms(1), [] {});  // A live set the churn runs against.
+  }
+  for (uint64_t k = 0; k < iters / 8; ++k) {  // Warm the arena/freelist.
+    EventQueue::EventId id = q.Schedule(++t, [] {});
+    q.Cancel(id);
+  }
+  rec.Begin(std::string("cancel_churn.") + KindName(kind));
+  for (uint64_t k = 0; k < iters; ++k) {
+    EventQueue::EventId id = q.Schedule(++t, [] {});
+    q.Cancel(id);
+  }
+  return rec.End(iters * 2);
+}
+
+PhaseResult RunSchedOp(PerfRecorder& rec, EventQueueKind kind, uint64_t iters) {
+  EventQueue q(kind);
+  TimeNs t = 0;
+  for (int i = 0; i < 128; ++i) {
+    q.Schedule(++t + Us(100), [] {});
+  }
+  for (uint64_t k = 0; k < iters / 8; ++k) {  // Warm-up.
+    q.Schedule(++t + Us(100), [] {});
+    q.PopNext();
+  }
+  rec.Begin(std::string("sched_op.") + KindName(kind));
+  for (uint64_t k = 0; k < iters; ++k) {
+    q.Schedule(++t + Us(100), [] {});
+    q.PopNext();
+  }
+  return rec.End(iters * 2);
+}
+
+// One DP-WRAP global slice per ms with 100 reserved VCPUs: the recurring
+// replan + dispatch cost the 250 us minimum global slice bounds.
+PhaseResult RunReplan(PerfRecorder& rec, int iters) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine.num_pcpus = 15;
+  Experiment exp(cfg);
+  std::vector<std::unique_ptr<PeriodicRta>> rtas;
+  for (int i = 0; i < 100; ++i) {
+    GuestOs* g = exp.AddGuest("vm" + std::to_string(i), 1);
+    rtas.push_back(std::make_unique<PeriodicRta>(
+        g, "rta", RtaParams{Ms(1), Ms(2 + (i % 7)), false}));
+    rtas.back()->Start(0, Sec(100000));
+  }
+  exp.Run(Ms(10));
+  uint64_t replans_before = exp.dpwrap()->replans();
+  TimeNs t = Ms(10);
+  rec.Begin("replan");
+  for (int k = 0; k < iters; ++k) {
+    t += Ms(1);
+    exp.Run(t);
+  }
+  uint64_t replans = exp.dpwrap()->replans() - replans_before;
+  rec.Count("replans", static_cast<double>(replans));
+  return rec.End(replans);
+}
+
+// The Table 6 single-RTA-VMs scenario end to end (100 VMs, RTVirt), at a
+// CI-friendly duration. Ops = simulator events processed.
+PhaseResult RunTab6Sim(PerfRecorder& rec, EventQueueKind kind, TimeNs duration) {
+  ExperimentConfig cfg;
+  cfg.framework = Framework::kRtvirt;
+  cfg.machine.num_pcpus = 15;
+  cfg.sim.event_queue = kind;
+  Experiment exp(cfg);
+  std::vector<std::unique_ptr<PeriodicRta>> rtas;
+  int vm = 0;
+  for (int copy = 0; copy < 10; ++copy) {
+    for (const RtaParams& params : kTable5Groups) {
+      GuestOs* g = exp.AddGuest("vm" + std::to_string(vm++), 1);
+      rtas.push_back(std::make_unique<PeriodicRta>(g, "rta", params));
+      rtas.back()->Start(0, duration);
+    }
+  }
+  rec.Begin(std::string("tab6_sim.") + KindName(kind));
+  exp.Run(duration + Ms(500));
+  uint64_t events = exp.sim().events_processed();
+  rec.Count("sim_events", static_cast<double>(events));
+  return rec.End(events);
+}
+
+int Run(int argc, char** argv) {
+  std::string out_path = "BENCH_perf_suite.json";
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_path = arg + 6;
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      scale = std::atof(arg + 8);
+    } else {
+      std::fprintf(stderr, "usage: perf_suite [--out=PATH] [--scale=F]\n");
+      return 2;
+    }
+  }
+  if (scale <= 0) {
+    std::fprintf(stderr, "perf_suite: --scale must be positive\n");
+    return 2;
+  }
+  if (!perf::AllocHooksActive()) {
+    std::fprintf(stderr,
+                 "perf_suite: allocation hooks are not linked in — the zero-alloc "
+                 "gate cannot run\n");
+    return 1;
+  }
+
+  auto scaled = [scale](uint64_t n) { return static_cast<uint64_t>(static_cast<double>(n) * scale); };
+  PerfRecorder rec;
+  std::printf("perf_suite: event-core + DP-WRAP measurement (scale %.2f)\n", scale);
+
+  PhaseResult shape_cal = RunTab6Shape(rec, EventQueueKind::kCalendar, scaled(400000));
+  PhaseResult shape_heap = RunTab6Shape(rec, EventQueueKind::kHeap, scaled(400000));
+  PhaseResult churn_cal = RunCancelChurn(rec, EventQueueKind::kCalendar, scaled(2000000));
+  PhaseResult churn_heap = RunCancelChurn(rec, EventQueueKind::kHeap, scaled(2000000));
+  PhaseResult sched_cal = RunSchedOp(rec, EventQueueKind::kCalendar, scaled(2000000));
+  PhaseResult sched_heap = RunSchedOp(rec, EventQueueKind::kHeap, scaled(2000000));
+  PhaseResult replan = RunReplan(rec, static_cast<int>(scaled(300)));
+  PhaseResult sim_cal = RunTab6Sim(rec, EventQueueKind::kCalendar, Sec(2));
+  PhaseResult sim_heap = RunTab6Sim(rec, EventQueueKind::kHeap, Sec(2));
+  uint64_t peak_rss = perf::PeakRssKb();
+
+  for (const PhaseResult& p : rec.phases()) {
+    std::printf("  %-22s %10llu ops  %8.1f ns/op  %12.0f ops/s  %llu allocs\n",
+                p.name.c_str(), static_cast<unsigned long long>(p.ops), p.NsPerOp(),
+                p.OpsPerSec(), static_cast<unsigned long long>(p.allocs));
+  }
+
+  // Event throughput: popped events per wall second on the tab6 shape.
+  double cal_eps = shape_cal.counters.at("pops") * 1e9 / static_cast<double>(shape_cal.wall_ns);
+  double heap_eps = shape_heap.counters.at("pops") * 1e9 / static_cast<double>(shape_heap.wall_ns);
+  double speedup = heap_eps > 0 ? cal_eps / heap_eps : 0;
+  double replan_ns = replan.NsPerOp();
+  std::printf("  tab6_shape events/sec: calendar %.0f, heap %.0f — speedup %.2fx\n",
+              cal_eps, heap_eps, speedup);
+  for (int timers : kShapeSweep) {
+    std::string key = "ns_per_pop.n" + std::to_string(timers);
+    std::printf("    n=%-6d calendar %7.1f ns/pop, heap %7.1f ns/pop\n", timers,
+                shape_cal.counters.at(key), shape_heap.counters.at(key));
+  }
+  std::printf("  replan: %.0f ns/replan; tab6_sim: %.0f ev/s (calendar) vs %.0f ev/s "
+              "(heap); peak RSS %llu KiB\n",
+              replan_ns, sim_cal.OpsPerSec(), sim_heap.OpsPerSec(),
+              static_cast<unsigned long long>(peak_rss));
+
+  PerfReport report;
+  report.suite = "perf_suite";
+#ifdef NDEBUG
+  report.meta["build"] = "Release";
+#else
+  report.meta["build"] = "asserts-on";
+#endif
+  report.Add("tab6_shape.calendar.events_per_sec", cal_eps, "events/s", true, 0.40);
+  report.Add("tab6_shape.calendar.ns_per_op", shape_cal.NsPerOp(), "ns", false, 0.40);
+  report.Add("tab6_shape.calendar.steady_allocs_per_op", shape_cal.AllocsPerOp(),
+             "allocs/op", false, 0.0);
+  report.Add("tab6_shape.heap.events_per_sec", heap_eps, "events/s", true, 0.40);
+  report.Add("tab6_shape.heap.allocs_per_op", shape_heap.AllocsPerOp(), "allocs/op",
+             false, 0.50);
+  report.Add("tab6_shape.speedup", speedup, "x", true, 0.30);
+  report.Add("cancel_churn.calendar.ns_per_op", churn_cal.NsPerOp(), "ns", false, 0.40);
+  report.Add("cancel_churn.heap.ns_per_op", churn_heap.NsPerOp(), "ns", false, 0.40);
+  report.Add("sched_op.calendar.ns_per_op", sched_cal.NsPerOp(), "ns", false, 0.40);
+  report.Add("sched_op.heap.ns_per_op", sched_heap.NsPerOp(), "ns", false, 0.40);
+  report.Add("replan.ns_per_replan", replan_ns, "ns", false, 0.50);
+  // No calendar-vs-heap ratio for the full-sim phase: the event queue is a
+  // small slice of its runtime, so the ratio of two short runs is runner
+  // noise, not signal (the raw-queue tab6_shape.speedup is the honest one).
+  report.Add("tab6_sim.events_per_sec", sim_cal.OpsPerSec(), "events/s", true, 0.50);
+  report.Add("peak_rss_kb", static_cast<double>(peak_rss), "KiB", false, 0.75);
+  if (!report.WriteFile(out_path)) {
+    return 1;
+  }
+  std::printf("perf_suite: wrote %s (%zu metrics, schema v%d)\n", out_path.c_str(),
+              report.metrics.size(), report.schema_version);
+
+  // The zero-alloc steady state is an invariant, not a perf number: fail the
+  // run outright if the measured window allocated at all.
+  if (shape_cal.allocs != 0) {
+    std::fprintf(stderr,
+                 "perf_suite: FAIL — calendar steady state performed %llu allocations "
+                 "(%llu bytes) over %llu ops; expected zero\n",
+                 static_cast<unsigned long long>(shape_cal.allocs),
+                 static_cast<unsigned long long>(shape_cal.alloc_bytes),
+                 static_cast<unsigned long long>(shape_cal.ops));
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::printf("perf_suite: note — tab6_shape speedup %.2fx is below the 5x target "
+                "(gated against the baseline, not here)\n", speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rtvirt
+
+int main(int argc, char** argv) { return rtvirt::Run(argc, argv); }

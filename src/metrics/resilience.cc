@@ -80,6 +80,22 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("audit", "checks_run", c.audit_checks);
     row("audit", "violations", c.audit_violations);
   }
+  // Allocation profile: opt-in (ExperimentConfig::report_alloc /
+  // RTVIRT_REPORT_ALLOC) because RSS and warm-up counts vary across builds
+  // and would break byte-identical report comparisons.
+  if (c.alloc_section) {
+    row("alloc", "warmup_allocs", c.warmup_allocs);
+    row("alloc", "warmup_alloc_kb", c.warmup_alloc_bytes / 1024);
+    row("alloc", "steady_allocs", c.steady_allocs);
+    row("alloc", "steady_alloc_kb", c.steady_alloc_bytes / 1024);
+    row("alloc", "peak_rss_kb", c.peak_rss_kb);
+    row("alloc", "eq_schedules", c.event_queue.schedules);
+    row("alloc", "eq_cancels", c.event_queue.cancels);
+    row("alloc", "eq_pops", c.event_queue.pops);
+    row("alloc", "eq_node_allocs", c.event_queue.node_allocs);
+    row("alloc", "eq_calendar_resizes", c.event_queue.calendar_resizes);
+    row("alloc", "eq_heap_compactions", c.event_queue.heap_compactions);
+  }
   table.Print(out);
 }
 

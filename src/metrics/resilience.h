@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "src/sim/event_queue.h"
+
 namespace rtvirt {
 
 struct ResilienceCounters {
@@ -76,6 +78,20 @@ struct ResilienceCounters {
   // Invariant auditor (zero when no auditor was armed).
   uint64_t audit_checks = 0;
   uint64_t audit_violations = 0;
+
+  // Allocation profile (perf subsystem, alloc_hooks): operator-new counts
+  // split between warm-up (construction through the end of the first Run)
+  // and steady state, plus event-queue node-storage allocations. Always
+  // filled by the runner; printed only when `alloc_section` is set
+  // (ExperimentConfig::report_alloc / RTVIRT_REPORT_ALLOC), so reports from
+  // runs that did not opt in stay byte-identical.
+  bool alloc_section = false;
+  uint64_t warmup_allocs = 0;
+  uint64_t warmup_alloc_bytes = 0;
+  uint64_t steady_allocs = 0;
+  uint64_t steady_alloc_bytes = 0;
+  uint64_t peak_rss_kb = 0;
+  EventQueueStats event_queue;
 
   uint64_t TotalInjected() const {
     return injected_failures + injected_drops + outage_failures;

@@ -1,0 +1,126 @@
+#include "src/perf/alloc_hooks.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Constant-initialized so counting is safe from the very first allocation,
+// including ones made before main() by static initializers.
+constinit std::atomic<uint64_t> g_allocs{0};
+constinit std::atomic<uint64_t> g_frees{0};
+constinit std::atomic<uint64_t> g_bytes{0};
+
+void* CountedAlloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) noexcept {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+  if (p != nullptr) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* AllocOrHandler(std::size_t size) {
+  for (;;) {
+    void* p = CountedAlloc(size);
+    if (p != nullptr) {
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      throw std::bad_alloc();
+    }
+    handler();
+  }
+}
+
+void* AllocOrHandlerAligned(std::size_t size, std::size_t align) {
+  for (;;) {
+    void* p = CountedAllocAligned(size, align);
+    if (p != nullptr) {
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      throw std::bad_alloc();
+    }
+    handler();
+  }
+}
+
+void CountedFree(void* p) noexcept {
+  if (p != nullptr) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return AllocOrHandler(size); }
+void* operator new[](std::size_t size) { return AllocOrHandler(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return AllocOrHandlerAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return AllocOrHandlerAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+
+namespace rtvirt::perf {
+
+AllocSnapshot AllocNow() {
+  AllocSnapshot s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool AllocHooksActive() {
+  uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  delete[] new char[1];
+  return g_allocs.load(std::memory_order_relaxed) > before;
+}
+
+}  // namespace rtvirt::perf

@@ -1,0 +1,83 @@
+#include "src/perf/perf_gate.h"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace rtvirt::perf {
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+GateResult ComparePerf(const PerfReport& baseline, const PerfReport& fresh,
+                       const GateOptions& options, std::ostream& log) {
+  GateResult result;
+  if (baseline.schema_version != fresh.schema_version) {
+    log << "perf_gate: schema_version mismatch (baseline " << baseline.schema_version
+        << ", fresh " << fresh.schema_version << ") — re-baseline required\n";
+    result.ok = false;
+    return result;
+  }
+  if (baseline.suite != fresh.suite) {
+    log << "perf_gate: suite mismatch (baseline \"" << baseline.suite << "\", fresh \""
+        << fresh.suite << "\")\n";
+    result.ok = false;
+    return result;
+  }
+  log << "perf_gate: suite " << baseline.suite << ", tolerance scale x"
+      << Fmt(options.tolerance_scale) << "\n";
+  for (const PerfMetric& base : baseline.metrics) {
+    const PerfMetric* now = fresh.Find(base.name);
+    ++result.checked;
+    if (now == nullptr) {
+      log << "  MISSING  " << base.name << " (baseline " << Fmt(base.value) << " "
+          << base.unit << ")\n";
+      ++result.missing;
+      result.ok = false;
+      continue;
+    }
+    double tol = base.tolerance * options.tolerance_scale;
+    if (base.higher_is_better) {
+      double floor = base.value * (1.0 - tol);
+      if (base.value > 0 && floor <= 0) {
+        log << "  waived   " << base.name << ": tolerance x" << Fmt(options.tolerance_scale)
+            << " swallows the whole range (now " << Fmt(now->value) << ", base "
+            << Fmt(base.value) << ")\n";
+        ++result.waived;
+        continue;
+      }
+      if (now->value < floor) {
+        log << "  REGRESS  " << base.name << ": " << Fmt(now->value) << " " << base.unit
+            << " < floor " << Fmt(floor) << " (base " << Fmt(base.value) << ")\n";
+        ++result.regressed;
+        result.ok = false;
+      } else {
+        log << "  ok       " << base.name << ": " << Fmt(now->value) << " " << base.unit
+            << " (base " << Fmt(base.value) << ", floor " << Fmt(floor) << ")\n";
+      }
+    } else {
+      double ceiling = base.value * (1.0 + tol);
+      if (now->value > ceiling) {
+        log << "  REGRESS  " << base.name << ": " << Fmt(now->value) << " " << base.unit
+            << " > ceiling " << Fmt(ceiling) << " (base " << Fmt(base.value) << ")\n";
+        ++result.regressed;
+        result.ok = false;
+      } else {
+        log << "  ok       " << base.name << ": " << Fmt(now->value) << " " << base.unit
+            << " (base " << Fmt(base.value) << ", ceiling " << Fmt(ceiling) << ")\n";
+      }
+    }
+  }
+  log << "perf_gate: " << result.checked << " checked, " << result.regressed
+      << " regressed, " << result.missing << " missing, " << result.waived
+      << " waived — " << (result.ok ? "PASS" : "FAIL") << "\n";
+  return result;
+}
+
+}  // namespace rtvirt::perf

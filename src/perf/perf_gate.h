@@ -1,0 +1,43 @@
+// Baseline-vs-fresh perf comparison: the logic behind the perf_gate tool.
+//
+// Every metric in the baseline must exist in the fresh report and stay
+// within its tolerance band, widened by a caller-chosen scale (CI uses 3x
+// for runner noise; local re-runs use 1x):
+//
+//   higher_is_better:  fresh >= base * (1 - tolerance * scale)
+//   lower_is_better:   fresh <= base * (1 + tolerance * scale)
+//
+// A zero baseline on a lower-is-better metric is an exact gate at every
+// scale — that is how "steady-state allocations/op == 0" stays enforced even
+// under the generous CI scale. When the widened band degenerates (lower
+// bound <= 0 on a higher-is-better metric), the metric is waived and
+// reported as such rather than silently passed off as checked.
+
+#ifndef SRC_PERF_PERF_GATE_H_
+#define SRC_PERF_PERF_GATE_H_
+
+#include <iosfwd>
+
+#include "src/perf/perf_report.h"
+
+namespace rtvirt::perf {
+
+struct GateOptions {
+  double tolerance_scale = 1.0;
+};
+
+struct GateResult {
+  bool ok = true;
+  int checked = 0;
+  int regressed = 0;
+  int waived = 0;   // Tolerance band degenerated at this scale.
+  int missing = 0;  // Baseline metric absent from the fresh report.
+};
+
+// Prints a per-metric verdict table to `log` and returns the totals.
+GateResult ComparePerf(const PerfReport& baseline, const PerfReport& fresh,
+                       const GateOptions& options, std::ostream& log);
+
+}  // namespace rtvirt::perf
+
+#endif  // SRC_PERF_PERF_GATE_H_

@@ -1,0 +1,362 @@
+#include "src/perf/perf_report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace rtvirt::perf {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  // %.17g round-trips doubles exactly; trim to %.12g for readability — more
+  // precision than any perf tolerance can resolve.
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// --- Minimal JSON subset reader (objects, arrays, strings, numbers, bools,
+// null) — just enough to read back what Write() emits, with whitespace and
+// field reordering tolerated.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::istream& in) {
+    std::ostringstream all;
+    all << in.rdbuf();
+    text_ = all.str();
+  }
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> v = ParseValue();
+    SkipWs();
+    if (!v.has_value() || pos_ != text_.size()) {
+      return std::nullopt;  // Trailing garbage is a malformed report.
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatWord(const char* w) {
+    SkipWs();
+    size_t n = std::string(w).size();
+    if (text_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Eat('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += e;  // \" \\ \/ and anything else: literal.
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (Eat('}')) {
+        return v;
+      }
+      for (;;) {
+        std::optional<std::string> key = ParseString();
+        if (!key.has_value() || !Eat(':')) {
+          return std::nullopt;
+        }
+        std::optional<JsonValue> val = ParseValue();
+        if (!val.has_value()) {
+          return std::nullopt;
+        }
+        v.obj.emplace_back(*key, std::move(*val));
+        if (Eat(',')) {
+          continue;
+        }
+        if (Eat('}')) {
+          return v;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (Eat(']')) {
+        return v;
+      }
+      for (;;) {
+        std::optional<JsonValue> val = ParseValue();
+        if (!val.has_value()) {
+          return std::nullopt;
+        }
+        v.arr.push_back(std::move(*val));
+        if (Eat(',')) {
+          continue;
+        }
+        if (Eat(']')) {
+          return v;
+        }
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s.has_value()) {
+        return std::nullopt;
+      }
+      v.kind = JsonValue::Kind::kString;
+      v.str = std::move(*s);
+      return v;
+    }
+    if (EatWord("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = true;
+      return v;
+    }
+    if (EatWord("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.b = false;
+      return v;
+    }
+    if (EatWord("null")) {
+      return v;
+    }
+    // Number.
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    try {
+      v.num = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return std::nullopt;
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    return v;
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void PerfReport::Add(const std::string& name, double value, const std::string& unit,
+                     bool higher_is_better, double tolerance) {
+  PerfMetric m;
+  m.name = name;
+  m.value = value;
+  m.unit = unit;
+  m.higher_is_better = higher_is_better;
+  m.tolerance = tolerance;
+  metrics.push_back(std::move(m));
+}
+
+const PerfMetric* PerfReport::Find(const std::string& name) const {
+  for (const PerfMetric& m : metrics) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+void PerfReport::Write(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"schema_version\": " << schema_version << ",\n";
+  out << "  \"suite\": \"" << EscapeJson(suite) << "\",\n";
+  out << "  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta) {
+    out << (first ? "" : ", ") << "\"" << EscapeJson(k) << "\": \"" << EscapeJson(v)
+        << "\"";
+    first = false;
+  }
+  out << "},\n";
+  out << "  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const PerfMetric& m = metrics[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << EscapeJson(m.name) << "\", \"value\": "
+        << FmtDouble(m.value) << ", \"unit\": \"" << EscapeJson(m.unit)
+        << "\", \"higher_is_better\": " << (m.higher_is_better ? "true" : "false")
+        << ", \"tolerance\": " << FmtDouble(m.tolerance) << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool PerfReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cerr << "perf: cannot write " << path << "\n";
+    return false;
+  }
+  Write(out);
+  return out.good();
+}
+
+std::optional<PerfReport> PerfReport::Parse(std::istream& in) {
+  std::optional<JsonValue> root = JsonParser(in).Parse();
+  if (!root.has_value() || root->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  PerfReport report;
+  const JsonValue* version = root->Get("schema_version");
+  const JsonValue* suite = root->Get("suite");
+  const JsonValue* metrics = root->Get("metrics");
+  if (version == nullptr || version->kind != JsonValue::Kind::kNumber ||
+      suite == nullptr || suite->kind != JsonValue::Kind::kString ||
+      metrics == nullptr || metrics->kind != JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  report.schema_version = static_cast<int>(version->num);
+  if (report.schema_version != kPerfSchemaVersion) {
+    return std::nullopt;  // Unknown schema: refuse rather than misread.
+  }
+  report.suite = suite->str;
+  if (const JsonValue* meta = root->Get("meta");
+      meta != nullptr && meta->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : meta->obj) {
+      if (v.kind == JsonValue::Kind::kString) {
+        report.meta[k] = v.str;
+      }
+    }
+  }
+  for (const JsonValue& entry : metrics->arr) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return std::nullopt;
+    }
+    const JsonValue* name = entry.Get("name");
+    const JsonValue* value = entry.Get("value");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString || value == nullptr ||
+        value->kind != JsonValue::Kind::kNumber) {
+      return std::nullopt;
+    }
+    PerfMetric m;
+    m.name = name->str;
+    m.value = value->num;
+    if (const JsonValue* unit = entry.Get("unit");
+        unit != nullptr && unit->kind == JsonValue::Kind::kString) {
+      m.unit = unit->str;
+    }
+    if (const JsonValue* dir = entry.Get("higher_is_better");
+        dir != nullptr && dir->kind == JsonValue::Kind::kBool) {
+      m.higher_is_better = dir->b;
+    }
+    if (const JsonValue* tol = entry.Get("tolerance");
+        tol != nullptr && tol->kind == JsonValue::Kind::kNumber) {
+      m.tolerance = tol->num;
+    }
+    report.metrics.push_back(std::move(m));
+  }
+  return report;
+}
+
+std::optional<PerfReport> PerfReport::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return std::nullopt;
+  }
+  return Parse(in);
+}
+
+}  // namespace rtvirt::perf

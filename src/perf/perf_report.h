@@ -1,0 +1,65 @@
+// Schema-versioned BENCH_*.json perf reports.
+//
+// A PerfReport is a flat list of named metrics, each carrying its unit, its
+// regression direction (higher- or lower-is-better) and a per-metric
+// relative tolerance. The JSON layout (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "suite": "perf_suite",
+//     "meta": {"build": "Release"},
+//     "metrics": [
+//       {"name": "tab6_shape.calendar.events_per_sec", "value": 1.2e7,
+//        "unit": "events/s", "higher_is_better": true, "tolerance": 0.4}
+//     ]
+//   }
+//
+// The same code parses the files back (a minimal JSON subset reader — just
+// enough for this schema plus whitespace), so the perf_gate comparator can
+// diff a fresh run against the committed baseline without third-party JSON
+// dependencies.
+
+#ifndef SRC_PERF_PERF_REPORT_H_
+#define SRC_PERF_PERF_REPORT_H_
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtvirt::perf {
+
+inline constexpr int kPerfSchemaVersion = 1;
+
+struct PerfMetric {
+  std::string name;
+  double value = 0;
+  std::string unit;
+  bool higher_is_better = false;
+  // Relative tolerance the gate allows in the regressing direction before it
+  // fails; the gate multiplies it by a caller-chosen scale (3x in CI).
+  double tolerance = 0.35;
+};
+
+struct PerfReport {
+  int schema_version = kPerfSchemaVersion;
+  std::string suite;
+  std::map<std::string, std::string> meta;  // Freeform context, sorted.
+  std::vector<PerfMetric> metrics;
+
+  void Add(const std::string& name, double value, const std::string& unit,
+           bool higher_is_better, double tolerance);
+  const PerfMetric* Find(const std::string& name) const;
+
+  void Write(std::ostream& out) const;
+  // Returns false (and reports on stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+  static std::optional<PerfReport> Parse(std::istream& in);
+  static std::optional<PerfReport> ParseFile(const std::string& path);
+};
+
+}  // namespace rtvirt::perf
+
+#endif  // SRC_PERF_PERF_REPORT_H_

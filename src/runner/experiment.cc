@@ -1,9 +1,11 @@
 #include "src/runner/experiment.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 #include "src/metrics/report.h"
+#include "src/perf/perf_recorder.h"
 
 namespace rtvirt {
 
@@ -22,7 +24,12 @@ const char* FrameworkName(Framework framework) {
 }
 
 Experiment::Experiment(ExperimentConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)), sim_(config_.sim), rng_(config_.seed) {
+  if (const char* env = std::getenv("RTVIRT_REPORT_ALLOC");
+      env != nullptr && *env != '\0' && *env != '0') {
+    config_.report_alloc = true;
+  }
+  ctor_alloc_ = perf::AllocNow();
   machine_ = std::make_unique<Machine>(&sim_, config_.machine);
   switch (config_.framework) {
     case Framework::kRtvirt: {
@@ -171,6 +178,17 @@ ResilienceCounters Experiment::resilience() const {
     c.shed_job_drops += s.shed_job_drops;
     c.overload_admissions += s.overload_admissions;
   }
+  // Allocation attribution (perf subsystem): warm-up covers construction
+  // through the end of the first Run(); everything after is steady state.
+  c.alloc_section = config_.report_alloc;
+  perf::AllocSnapshot now = perf::AllocNow();
+  const perf::AllocSnapshot& split = warmup_recorded_ ? warmup_end_alloc_ : now;
+  c.warmup_allocs = split.allocs - ctor_alloc_.allocs;
+  c.warmup_alloc_bytes = split.bytes - ctor_alloc_.bytes;
+  c.steady_allocs = now.allocs - split.allocs;
+  c.steady_alloc_bytes = now.bytes - split.bytes;
+  c.peak_rss_kb = perf::PeakRssKb();
+  c.event_queue = sim_.queue_stats();
   return c;
 }
 
@@ -195,6 +213,10 @@ void Experiment::Run(TimeNs until) {
     started_ = true;
   }
   sim_.RunUntil(until);
+  if (!warmup_recorded_) {
+    warmup_end_alloc_ = perf::AllocNow();
+    warmup_recorded_ = true;
+  }
 }
 
 }  // namespace rtvirt

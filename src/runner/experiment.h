@@ -17,8 +17,10 @@
 #include "src/guest/guest_os.h"
 #include "src/hv/machine.h"
 #include "src/metrics/resilience.h"
+#include "src/perf/alloc_hooks.h"
 #include "src/rtvirt/dpwrap.h"
 #include "src/rtvirt/guest_channel.h"
+#include "src/sim/sim_config.h"
 #include "src/sim/simulator.h"
 
 namespace rtvirt {
@@ -34,6 +36,10 @@ const char* FrameworkName(Framework framework);
 
 struct ExperimentConfig {
   Framework framework = Framework::kRtvirt;
+  // Simulator core knobs (event-queue backend selection). The default
+  // calendar queue is byte-identical in behavior to kHeap — see
+  // src/sim/sim_config.h.
+  SimConfig sim;
   MachineConfig machine;
   DpWrapConfig dpwrap;
   ServerEdfConfig server_edf;
@@ -46,6 +52,11 @@ struct ExperimentConfig {
   // Cross-layer invariant auditor; disabled by default (no auditor object is
   // even created, and no events are scheduled).
   AuditorConfig audit;
+  // Print the allocation section (warm-up vs steady-state operator-new
+  // counts, peak RSS) in the standard report. Off by default so existing
+  // reports stay byte-identical; the RTVIRT_REPORT_ALLOC environment
+  // variable force-enables it (used by the CI fault-soak job).
+  bool report_alloc = false;
   uint64_t seed = 42;
 };
 
@@ -106,6 +117,12 @@ class Experiment {
   std::unique_ptr<InvariantAuditor> auditor_;
   Rng rng_;
   bool started_ = false;
+  // Allocation attribution: everything up to the end of the first Run() call
+  // (construction, guest/workload setup, machine start) is warm-up; the rest
+  // is steady state. Snapshots of the global alloc_hooks counters.
+  perf::AllocSnapshot ctor_alloc_;
+  perf::AllocSnapshot warmup_end_alloc_;
+  bool warmup_recorded_ = false;
 };
 
 }  // namespace rtvirt

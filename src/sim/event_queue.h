@@ -1,8 +1,21 @@
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue with two backends behind one API.
 //
-// Events are callbacks ordered by (time, insertion sequence). Cancellation is
-// lazy: a cancelled entry stays in the heap and is skipped on pop, which keeps
-// both Schedule() and Cancel() at O(log n) / O(1) without tombstone sweeps.
+// Events are callbacks ordered by (time, insertion sequence); both backends
+// produce the exact same total order, so a run is byte-identical regardless
+// of which one drives it (tests/determinism_test.cc drives them in lockstep
+// to prove it).
+//
+//  * kCalendar (default): a calendar queue — a ring of power-of-two-width
+//    time buckets (the time-to-bucket mapping is a shift, never a 64-bit
+//    division), each bucket a doubly-linked list kept (time, seq)-sorted,
+//    with nodes recycled through a chunked freelist arena. Insert and pop
+//    are O(1) amortized, cancellation really unlinks the entry in O(1), and
+//    the steady state after warm-up performs no allocations at all (the
+//    perf suite asserts this, bench/perf_suite).
+//  * kHeap: the original binary heap. Cancellation is lazy — a cancelled
+//    entry stays in the heap and is skipped on pop — but tombstones are now
+//    compacted away whenever they outnumber live entries 2:1, so cancel-heavy
+//    workloads no longer grow the heap without bound.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
@@ -10,33 +23,60 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/sim/sim_config.h"
 
 namespace rtvirt {
+
+struct EventNode;
+
+// Operation and allocation counters, cheap enough to maintain always. The
+// perf recorder reads these to assert the zero-alloc steady state, and the
+// heap-compaction regression test reads `backlog` to assert bounded memory.
+struct EventQueueStats {
+  uint64_t schedules = 0;
+  uint64_t cancels = 0;
+  uint64_t pops = 0;
+  // Node-storage allocations: arena chunk growths (calendar) or per-event
+  // node allocations (heap). Zero growth after warm-up on the calendar path.
+  uint64_t node_allocs = 0;
+  uint64_t calendar_resizes = 0;
+  uint64_t heap_compactions = 0;
+  // Entries currently held by the backend, including heap tombstones; the
+  // compaction rule bounds this at O(live entries).
+  size_t backlog = 0;
+  size_t free_nodes = 0;
+};
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
   // Identifies a scheduled event for cancellation. Default-constructed ids
-  // are inert: cancelling them is a no-op.
+  // are inert, and ids of events that already fired (or were cancelled, or
+  // whose node was since recycled) cancel as a no-op: calendar ids carry a
+  // generation stamp checked against the node, heap ids share ownership of
+  // the node and check its fired/cancelled state.
   class EventId {
    public:
     EventId() = default;
-    bool valid() const { return node_ != nullptr; }
+    bool valid() const { return node_ != nullptr || ref_ != nullptr; }
 
    private:
     friend class EventQueue;
-    explicit EventId(std::shared_ptr<struct EventNode> node) : node_(std::move(node)) {}
-    std::shared_ptr<struct EventNode> node_;
+    EventNode* node_ = nullptr;  // Calendar backend: arena node...
+    uint64_t gen_ = 0;           // ...plus its generation at schedule time.
+    std::shared_ptr<EventNode> ref_;  // Heap backend: shared ownership.
   };
 
-  EventQueue() = default;
+  explicit EventQueue(EventQueueKind kind = EventQueueKind::kCalendar);
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  EventQueueKind kind() const { return kind_; }
 
   EventId Schedule(TimeNs when, Callback cb);
 
@@ -56,11 +96,17 @@ class EventQueue {
   };
   Fired PopNext();
 
+  const EventQueueStats& stats() const;
+
  private:
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
   struct HeapEntry {
     TimeNs time;
     uint64_t seq;
-    std::shared_ptr<struct EventNode> node;
+    std::shared_ptr<EventNode> node;
   };
   struct Later {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
@@ -71,17 +117,59 @@ class EventQueue {
     }
   };
 
-  // Drops cancelled entries from the top of the heap.
-  void SkimCancelled() const;
+  // Arena: calendar nodes come from chunked blocks and recycle through a
+  // freelist, so a warmed-up queue never touches the allocator again.
+  EventNode* AllocNode();
+  void FreeNode(EventNode* n);
 
-  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // Calendar primitives.
+  size_t BucketIndex(TimeNs time) const;
+  void BucketInsert(EventNode* n);
+  void BucketUnlink(EventNode* n);
+  // Locates (and caches) the earliest node, advancing the search front.
+  EventNode* FindMin() const;
+  void ResizeCalendar(size_t new_buckets);
+  void MaybeResize();
+  int TuneWidthShift(std::vector<EventNode*>& nodes) const;
+
+  // Heap primitives.
+  void HeapSkim() const;
+  void HeapCompact();
+
+  EventQueueKind kind_;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
+  mutable EventQueueStats stats_;
+
+  // Calendar state. Bucket widths are powers of two so the hot-path
+  // time-to-bucket mapping is a shift, never a 64-bit division. `pos_abs_`
+  // is the absolute bucket number (time >> width_shift_) the search front
+  // sits at; it advances on pops and is pulled back by an insert that lands
+  // behind it, so the scan never misses an event.
+  std::vector<Bucket> buckets_;
+  int width_shift_ = 0;
+  mutable int64_t pos_abs_ = 0;
+  mutable EventNode* cached_min_ = nullptr;
+  std::vector<std::unique_ptr<EventNode[]>> chunks_;
+  EventNode* free_head_ = nullptr;
+  size_t free_count_ = 0;
+
+  // Heap state (mutable: skimming tombstones off the top is logically
+  // const). `heap_cancelled_` counts tombstones still in the vector.
+  mutable std::vector<HeapEntry> heap_;
+  mutable size_t heap_cancelled_ = 0;
 };
 
 struct EventNode {
+  TimeNs time = 0;
+  uint64_t seq = 0;
+  // Bumped whenever the node fires, is cancelled, or is recycled — a stale
+  // EventId's generation no longer matches, making its Cancel() a no-op.
+  uint64_t gen = 0;
+  bool cancelled = false;  // Heap backend: lazy tombstone.
+  EventNode* prev = nullptr;
+  EventNode* next = nullptr;  // Bucket list link, doubles as freelist link.
   EventQueue::Callback callback;
-  bool cancelled = false;
 };
 
 }  // namespace rtvirt

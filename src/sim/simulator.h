@@ -7,6 +7,7 @@
 
 #include "src/common/time.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/sim_config.h"
 
 namespace rtvirt {
 
@@ -15,7 +16,7 @@ class Simulator {
   using EventId = EventQueue::EventId;
   using Callback = EventQueue::Callback;
 
-  Simulator() = default;
+  explicit Simulator(SimConfig config = {}) : queue_(config.event_queue) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -38,6 +39,8 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
   bool idle() const { return queue_.empty(); }
+  // Operation/allocation counters of the underlying event queue.
+  const EventQueueStats& queue_stats() const { return queue_.stats(); }
 
  private:
   TimeNs now_ = 0;

@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/metrics/deadline_monitor.h"
 #include "src/runner/experiment.h"
+#include "src/sim/event_queue.h"
 #include "src/workloads/churn.h"
 #include "src/workloads/periodic.h"
 
@@ -210,6 +212,73 @@ TEST(Determinism, DifferentWorkloadSeedStillRunsCleanUnderFaults) {
   exp.Run(kRun);
   EXPECT_GT(exp.auditor()->checks_run(), 0u);
   EXPECT_EQ(exp.auditor()->total_violations(), 0u);
+}
+
+// Differential check of the two event-queue backends (perf PR satellite):
+// 100k randomized schedule/cancel/pop operations driven through a calendar
+// queue and a binary heap in lockstep. The backends implement the same
+// (time, insertion-seq) total order, so at every step their sizes and next
+// event times must agree, and the fired sequences must be identical. This is
+// the test that lets the calendar be the default: any divergence under
+// resizes, width retunes, node recycling, or tombstone compaction shows up
+// here as a first-divergence step index.
+TEST(Determinism, EventQueueBackendsAgreeOverRandomizedOps) {
+  EventQueue cal(EventQueueKind::kCalendar);
+  EventQueue heap(EventQueueKind::kHeap);
+  Rng rng(0xEC0FFEEull);
+
+  struct Pending {
+    EventQueue::EventId cal_id;
+    EventQueue::EventId heap_id;
+    int tag;
+  };
+  std::vector<Pending> pending;
+  std::vector<int> cal_fired;
+  std::vector<int> heap_fired;
+
+  TimeNs now = 0;
+  int next_tag = 0;
+  constexpr int kOps = 100000;
+  for (int op = 0; op < kOps; ++op) {
+    int roll = static_cast<int>(rng.UniformInt(0, 99));
+    if (roll < 45 || pending.empty()) {
+      // Schedule the same event in both queues. Mix of near and far times,
+      // with occasional exact duplicates to exercise FIFO tie-breaking.
+      TimeNs when = now + rng.UniformTime(0, roll % 5 == 0 ? 50 : 5000000);
+      int tag = next_tag++;
+      Pending p;
+      p.tag = tag;
+      p.cal_id = cal.Schedule(when, [&cal_fired, tag] { cal_fired.push_back(tag); });
+      p.heap_id = heap.Schedule(when, [&heap_fired, tag] { heap_fired.push_back(tag); });
+      pending.push_back(std::move(p));
+    } else if (roll < 70) {
+      // Cancel a random outstanding event in both (ids of already-fired
+      // events are still in `pending`; cancelling those must be a no-op in
+      // both backends equally).
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pending.size()) - 1));
+      cal.Cancel(pending[pick].cal_id);
+      heap.Cancel(pending[pick].heap_id);
+      pending[pick] = std::move(pending.back());
+      pending.pop_back();
+    } else if (!cal.empty()) {
+      ASSERT_EQ(cal.NextTime(), heap.NextTime()) << "step " << op;
+      now = cal.NextTime();
+      cal.PopNext().callback();
+      heap.PopNext().callback();
+      ASSERT_EQ(cal_fired.back(), heap_fired.back()) << "step " << op;
+    }
+    ASSERT_EQ(cal.size(), heap.size()) << "step " << op;
+  }
+  // Drain both completely and require identical fired sequences.
+  while (!cal.empty()) {
+    ASSERT_EQ(cal.NextTime(), heap.NextTime());
+    cal.PopNext().callback();
+    heap.PopNext().callback();
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(cal_fired, heap_fired);
+  EXPECT_GT(cal.stats().calendar_resizes, 0u);
 }
 
 }  // namespace

@@ -8,8 +8,21 @@
 namespace rtvirt {
 namespace {
 
-TEST(EventQueue, OrdersByTime) {
-  EventQueue q;
+// Both backends must honor the exact same (time, insertion-seq) contract, so
+// every ordering/cancellation test runs against each of them.
+class EventQueueBackends : public ::testing::TestWithParam<EventQueueKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EventQueueBackends,
+                         ::testing::Values(EventQueueKind::kCalendar,
+                                           EventQueueKind::kHeap),
+                         [](const auto& info) {
+                           return info.param == EventQueueKind::kCalendar
+                                      ? "Calendar"
+                                      : "Heap";
+                         });
+
+TEST_P(EventQueueBackends, OrdersByTime) {
+  EventQueue q(GetParam());
   std::vector<int> fired;
   q.Schedule(30, [&] { fired.push_back(3); });
   q.Schedule(10, [&] { fired.push_back(1); });
@@ -20,8 +33,8 @@ TEST(EventQueue, OrdersByTime) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, FifoWithinSameTimestamp) {
-  EventQueue q;
+TEST_P(EventQueueBackends, FifoWithinSameTimestamp) {
+  EventQueue q(GetParam());
   std::vector<int> fired;
   for (int i = 0; i < 5; ++i) {
     q.Schedule(7, [&fired, i] { fired.push_back(i); });
@@ -32,8 +45,8 @@ TEST(EventQueue, FifoWithinSameTimestamp) {
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(EventQueue, CancelPreventsFiring) {
-  EventQueue q;
+TEST_P(EventQueueBackends, CancelPreventsFiring) {
+  EventQueue q(GetParam());
   int fired = 0;
   auto id = q.Schedule(5, [&] { ++fired; });
   q.Schedule(6, [&] { ++fired; });
@@ -45,8 +58,8 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_EQ(fired, 1);
 }
 
-TEST(EventQueue, CancelAfterFireIsNoop) {
-  EventQueue q;
+TEST_P(EventQueueBackends, CancelAfterFireIsNoop) {
+  EventQueue q(GetParam());
   auto id = q.Schedule(1, [] {});
   q.PopNext().callback();
   q.Cancel(id);  // Must not corrupt the live count.
@@ -55,8 +68,8 @@ TEST(EventQueue, CancelAfterFireIsNoop) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(EventQueue, DoubleCancelIsNoop) {
-  EventQueue q;
+TEST_P(EventQueueBackends, DoubleCancelIsNoop) {
+  EventQueue q(GetParam());
   auto id = q.Schedule(1, [] {});
   auto id2 = id;
   q.Cancel(id);
@@ -64,12 +77,106 @@ TEST(EventQueue, DoubleCancelIsNoop) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, NextTimeSkipsCancelled) {
-  EventQueue q;
+TEST_P(EventQueueBackends, NextTimeSkipsCancelled) {
+  EventQueue q(GetParam());
   auto id = q.Schedule(5, [] {});
   q.Schedule(9, [] {});
   q.Cancel(id);
   EXPECT_EQ(q.NextTime(), 9);
+}
+
+// Calendar arena nodes are recycled: an EventId held across its node's reuse
+// by a later Schedule() must become inert, not cancel the new tenant. The
+// generation stamp in the id is what makes this safe.
+TEST(EventQueueCalendar, StaleCancelAfterNodeReuseIsNoop) {
+  EventQueue q(EventQueueKind::kCalendar);
+  auto stale = q.Schedule(1, [] {});
+  q.PopNext().callback();  // Frees the node back to the arena.
+  EXPECT_TRUE(q.empty());
+  int fired = 0;
+  q.Schedule(2, [&] { ++fired; });  // Reuses the freed node.
+  q.Cancel(stale);                  // Generation mismatch: must be a no-op.
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) {
+    q.PopNext().callback();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+// Growing through several calendar resizes (bucket-ring rebuilds with width
+// retunes) must not perturb the (time, seq) total order.
+TEST(EventQueueCalendar, OrderSurvivesResizes) {
+  EventQueue q(EventQueueKind::kCalendar);
+  // Deterministic scatter of timestamps with duplicates, far more entries
+  // than the initial 64 buckets so the ring grows and retunes repeatedly.
+  std::vector<int64_t> times;
+  uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    times.push_back(static_cast<int64_t>(x >> 24) % 1000000);
+  }
+  std::vector<std::pair<int64_t, int>> fired;
+  for (int i = 0; i < static_cast<int>(times.size()); ++i) {
+    q.Schedule(times[i], [&fired, &times, i] {
+      fired.push_back({times[i], i});
+    });
+  }
+  EXPECT_GT(q.stats().calendar_resizes, 0u);
+  int64_t last_time = -1;
+  int last_seq = -1;
+  while (!q.empty()) {
+    q.PopNext().callback();
+    auto [t, seq] = fired.back();
+    if (t == last_time) {
+      EXPECT_GT(seq, last_seq);  // FIFO among equal timestamps.
+    } else {
+      EXPECT_GT(t, last_time);
+    }
+    last_time = t;
+    last_seq = seq;
+  }
+  EXPECT_EQ(fired.size(), times.size());
+}
+
+// Regression for the unbounded-tombstone leak: a workload that cancels far
+// more than it pops (re-armed watchdogs) must not grow the heap without
+// bound. Compaction keeps the backlog at O(live entries).
+TEST(EventQueueHeap, CompactionBoundsMemoryUnderCancelChurn) {
+  EventQueue q(EventQueueKind::kHeap);
+  constexpr int kLive = 100;
+  std::vector<EventQueue::EventId> ids(kLive);
+  for (int i = 0; i < kLive; ++i) {
+    ids[i] = q.Schedule(1000 + i, [] {});
+  }
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < kLive; ++i) {
+      q.Cancel(ids[i]);
+      ids[i] = q.Schedule(100000 + round * kLive + i, [] {});
+    }
+  }
+  const EventQueueStats& s = q.stats();
+  EXPECT_EQ(q.size(), static_cast<size_t>(kLive));
+  // 100k cancels happened; without compaction the backlog would be ~100k.
+  EXPECT_GT(s.heap_compactions, 0u);
+  EXPECT_LE(s.backlog, static_cast<size_t>(3 * kLive + 64));
+}
+
+// After warm-up, the calendar recycles everything: popping and rescheduling
+// at the same population must not carve new arena chunks.
+TEST(EventQueueCalendar, SteadyStateReusesArenaNodes) {
+  EventQueue q(EventQueueKind::kCalendar);
+  for (int i = 0; i < 2000; ++i) {
+    q.Schedule(10 + i, [] {});
+  }
+  uint64_t warm_allocs = q.stats().node_allocs;
+  int64_t t = 10;
+  for (int i = 0; i < 50000; ++i) {
+    t = q.NextTime();
+    q.PopNext();
+    q.Schedule(t + 2000, [] {});
+  }
+  EXPECT_EQ(q.stats().node_allocs, warm_allocs);
+  EXPECT_EQ(q.size(), 2000u);
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {
