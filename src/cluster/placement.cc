@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace rtvirt {
 
 ClusterPlacer::ClusterPlacer(std::vector<ClusterHost> hosts, PlacementPolicy policy)
@@ -11,9 +13,27 @@ ClusterPlacer::ClusterPlacer(std::vector<ClusterHost> hosts, PlacementPolicy pol
   for (size_t i = 0; i < hosts_.size(); ++i) {
     assert(hosts_[i].id == static_cast<int>(i) && "host ids must be dense and ordered");
   }
+  available_.assign(hosts_.size(), true);
+  capacity_factor_.assign(hosts_.size(), 1.0);
+}
+
+void ClusterPlacer::CheckHostId(int host, const char* who) const {
+  RTVIRT_CHECK(host >= 0 && host < static_cast<int>(hosts_.size()),
+               "%s: host id %d out of range (cluster has %zu hosts)", who, host,
+               hosts_.size());
+}
+
+Bandwidth ClusterPlacer::EffectiveCapacity(int host) const {
+  double factor = capacity_factor_[host];
+  if (factor == 1.0) {
+    return hosts_[host].capacity();
+  }
+  return Bandwidth::FromPpb(
+      static_cast<int64_t>(static_cast<double>(hosts_[host].capacity().ppb()) * factor + 0.5));
 }
 
 Bandwidth ClusterPlacer::HostLoad(int host) const {
+  CheckHostId(host, "HostLoad");
   Bandwidth load;
   for (const PlacedVm& vm : vms_) {
     if (vm.host == host) {
@@ -23,19 +43,63 @@ Bandwidth ClusterPlacer::HostLoad(int host) const {
   return load;
 }
 
+Bandwidth ClusterPlacer::HostMinLoad(int host) const {
+  CheckHostId(host, "HostMinLoad");
+  Bandwidth load;
+  for (const PlacedVm& vm : vms_) {
+    if (vm.host == host) {
+      load += vm.request.MinBandwidth();
+    }
+  }
+  return load;
+}
+
+Bandwidth ClusterPlacer::HostFree(int host) const {
+  CheckHostId(host, "HostFree");
+  return EffectiveCapacity(host) - HostLoad(host);
+}
+
+Bandwidth ClusterPlacer::LoadFor(int host, bool degraded_fit) const {
+  return degraded_fit ? HostMinLoad(host) : HostLoad(host);
+}
+
+void ClusterPlacer::SetHostAvailable(int host, bool available) {
+  CheckHostId(host, "SetHostAvailable");
+  available_[host] = available;
+}
+
+void ClusterPlacer::SetHostCapacityFactor(int host, double factor) {
+  CheckHostId(host, "SetHostCapacityFactor");
+  RTVIRT_CHECK(factor > 0.0 && factor <= 1.0,
+               "SetHostCapacityFactor: host %d factor outside (0, 1]", host);
+  capacity_factor_[host] = factor;
+}
+
+bool ClusterPlacer::HostAvailable(int host) const {
+  CheckHostId(host, "HostAvailable");
+  return available_[host];
+}
+
 Bandwidth ClusterPlacer::TotalFree() const {
   Bandwidth free;
   for (const ClusterHost& h : hosts_) {
-    free += h.capacity() - HostLoad(h.id);
+    if (!available_[h.id]) {
+      continue;
+    }
+    free += EffectiveCapacity(h.id) - HostLoad(h.id);
   }
   return free;
 }
 
-int ClusterPlacer::ChooseHost(Bandwidth bw) const {
+int ClusterPlacer::ChooseHost(const VmPlacementRequest& request, bool degraded_fit) const {
+  Bandwidth bw = degraded_fit ? request.MinBandwidth() : request.bandwidth;
   int best = -1;
   Bandwidth best_free;
   for (const ClusterHost& h : hosts_) {
-    Bandwidth free = h.capacity() - HostLoad(h.id);
+    if (!available_[h.id]) {
+      continue;
+    }
+    Bandwidth free = EffectiveCapacity(h.id) - LoadFor(h.id, degraded_fit);
     if (free < bw) {
       continue;
     }
@@ -59,8 +123,8 @@ int ClusterPlacer::ChooseHost(Bandwidth bw) const {
   return best;
 }
 
-std::optional<int> ClusterPlacer::Place(const VmPlacementRequest& request) {
-  int host = ChooseHost(request.bandwidth);
+std::optional<int> ClusterPlacer::Place(const VmPlacementRequest& request, bool degraded_fit) {
+  int host = ChooseHost(request, degraded_fit);
   if (host < 0) {
     return std::nullopt;
   }
@@ -79,8 +143,15 @@ bool ClusterPlacer::Remove(const std::string& name) {
 }
 
 std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
-    const VmPlacementRequest& request) {
-  if (TotalFree() < request.bandwidth) {
+    const VmPlacementRequest& request, bool degraded_fit) {
+  Bandwidth req_bw = degraded_fit ? request.MinBandwidth() : request.bandwidth;
+  Bandwidth total_free;
+  for (const ClusterHost& h : hosts_) {
+    if (available_[h.id]) {
+      total_free += EffectiveCapacity(h.id) - LoadFor(h.id, degraded_fit);
+    }
+  }
+  if (total_free < req_bw) {
     return std::nullopt;  // Not a fragmentation problem: genuinely full.
   }
   // Try to free room on each candidate target host, cheapest-first: move its
@@ -89,9 +160,15 @@ std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
     size_t vm_index;
     TimeNs cost;
   };
+  auto vm_bw = [&](const PlacedVm& vm) {
+    return degraded_fit ? vm.request.MinBandwidth() : vm.request.bandwidth;
+  };
   std::optional<RebalancePlan> best;
   for (const ClusterHost& target : hosts_) {
-    Bandwidth need = request.bandwidth - (target.capacity() - HostLoad(target.id));
+    if (!available_[target.id]) {
+      continue;
+    }
+    Bandwidth need = req_bw - (EffectiveCapacity(target.id) - LoadFor(target.id, degraded_fit));
     if (need <= Bandwidth::Zero()) {
       continue;  // Would have been placed directly.
     }
@@ -111,7 +188,7 @@ std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
     std::vector<std::pair<size_t, int>> moves;  // (vm index, new host)
     std::vector<Bandwidth> free(hosts_.size());
     for (const ClusterHost& h : hosts_) {
-      free[h.id] = h.capacity() - HostLoad(h.id);
+      free[h.id] = EffectiveCapacity(h.id) - LoadFor(h.id, degraded_fit);
     }
     Bandwidth freed;
     for (const Candidate& c : candidates) {
@@ -121,7 +198,7 @@ std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
       const PlacedVm& vm = vms_[c.vm_index];
       int dest = -1;
       for (const ClusterHost& h : hosts_) {
-        if (h.id != target.id && free[h.id] >= vm.request.bandwidth) {
+        if (h.id != target.id && available_[h.id] && free[h.id] >= vm_bw(vm)) {
           dest = h.id;
           break;
         }
@@ -129,8 +206,8 @@ std::optional<ClusterPlacer::RebalancePlan> ClusterPlacer::PlanRebalance(
       if (dest < 0) {
         continue;  // This VM cannot move anywhere; try the next candidate.
       }
-      free[dest] -= vm.request.bandwidth;
-      freed += vm.request.bandwidth;
+      free[dest] -= vm_bw(vm);
+      freed += vm_bw(vm);
       MigrationStep step;
       step.vm = vm.request.name;
       step.from = target.id;

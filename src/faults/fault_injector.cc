@@ -17,7 +17,7 @@ std::string Entry(const char* field, size_t i, const char* what, long long a, lo
 
 }  // namespace
 
-std::string FaultPlan::Validate(int num_pcpus, int num_vms) const {
+std::string FaultPlan::Validate(int num_pcpus, int num_vms, int num_hosts) const {
   for (size_t i = 0; i < hypercall_outages.size(); ++i) {
     const Outage& o = hypercall_outages[i];
     if (o.start < 0 || o.end <= o.start) {
@@ -92,6 +92,35 @@ std::string FaultPlan::Validate(int num_pcpus, int num_vms) const {
       TimeNs end_j = p.kind == PcpuFault::Kind::kPermanentFailure ? kTimeNever : p.until;
       if (f.at < end_j && p.at < end_i) {
         return Entry("pcpu_faults", i, "overlaps earlier fault on same pcpu at index",
+                     static_cast<long long>(j), p.at);
+      }
+    }
+  }
+  for (size_t i = 0; i < host_faults.size(); ++i) {
+    const HostFault& f = host_faults[i];
+    if (f.host < 0 || (num_hosts >= 0 && f.host >= num_hosts)) {
+      return Entry("host_faults", i, "host id out of range for cluster size",
+                   f.host, num_hosts);
+    }
+    bool windowed = f.kind != HostFault::Kind::kCrash;
+    if (f.at < 0 || (windowed && f.until <= f.at)) {
+      return Entry("host_faults", i, "empty or negative duration", f.at, f.until);
+    }
+    if (f.kind == HostFault::Kind::kDegrade && (f.factor <= 0.0 || f.factor > 1.0)) {
+      return Entry("host_faults", i, "degrade factor outside (0, 1] (factor*1e6, _)",
+                   static_cast<long long>(f.factor * 1e6), 0);
+    }
+    // Same per-resource overlap rule as pcpu_faults: a crash lasts forever,
+    // so nothing may follow it on that host.
+    TimeNs end_i = f.kind == HostFault::Kind::kCrash ? kTimeNever : f.until;
+    for (size_t j = 0; j < i; ++j) {
+      const HostFault& p = host_faults[j];
+      if (p.host != f.host) {
+        continue;
+      }
+      TimeNs end_j = p.kind == HostFault::Kind::kCrash ? kTimeNever : p.until;
+      if (f.at < end_j && p.at < end_i) {
+        return Entry("host_faults", i, "overlaps earlier fault on same host at index",
                      static_cast<long long>(j), p.at);
       }
     }

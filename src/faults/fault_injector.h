@@ -111,6 +111,30 @@ struct FaultPlan {
   };
   std::vector<AdversarialGuest> adversarial_guests;
 
+  // ---- (f) host-level faults (cluster federation) ----
+  // Whole-host events one level above the PCPU model: a host crashes for
+  // good, goes dark for a window, or loses a fraction of its capacity. These
+  // are consumed by the cluster Federation (src/cluster/federation.h), which
+  // drives them through Machine::SetPcpuOnline / SetPcpuSpeed on the
+  // affected host and runs the evacuation / re-placement response; the
+  // per-host FaultInjector ignores them (and they do not count toward
+  // active()), so a single-host experiment handed a plan with host faults
+  // simply never sees them fire.
+  struct HostFault {
+    enum class Kind {
+      kCrash,   // Host dies at `at` and never returns (until ignored).
+      kOutage,  // Host dark over [at, until), then heals.
+      kDegrade, // Every core throttled to `factor` over [at, until);
+                // until = kTimeNever keeps it degraded forever.
+    };
+    Kind kind = Kind::kCrash;
+    int host = 0;
+    TimeNs at = 0;
+    TimeNs until = kTimeNever;
+    double factor = 0.5;  // kDegrade only; must be in (0, 1].
+  };
+  std::vector<HostFault> host_faults;
+
   bool active() const {
     return hypercall_fail_prob > 0 || hypercall_drop_prob > 0 ||
            hypercall_spike_prob > 0 || !hypercall_outages.empty() ||
@@ -126,8 +150,11 @@ struct FaultPlan {
   // string when valid, else a message naming the offending entry. Pass the
   // machine's VM count as num_vms to bounds-check VM indices; -1 skips those
   // checks (plan built before the VMs exist — Arm() re-validates with the
-  // real count).
-  std::string Validate(int num_pcpus, int num_vms = -1) const;
+  // real count). Pass the cluster size as num_hosts to check host_faults
+  // (host ids, per-host window overlap, degrade factors); -1 skips the host
+  // id bounds check but still rejects structurally malformed entries — the
+  // Federation constructor re-validates with the real host count.
+  std::string Validate(int num_pcpus, int num_vms = -1, int num_hosts = -1) const;
 };
 
 struct FaultStats {

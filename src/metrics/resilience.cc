@@ -80,6 +80,29 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("audit", "checks_run", c.audit_checks);
     row("audit", "violations", c.audit_violations);
   }
+  // Cluster federation section: only multi-host runs with host faults or
+  // admissions fire these, so single-host reports stay byte-identical.
+  uint64_t cluster_any = c.TotalHostFaultEvents() + c.cluster_vms_admitted +
+                         c.cluster_vms_rejected + c.evacuations + c.migration_attempts +
+                         c.migration_aborts + c.evacuations_unresolved;
+  if (cluster_any > 0) {
+    row("cluster", "host_crashes", c.host_crashes);
+    row("cluster", "host_outages", c.host_outages);
+    row("cluster", "host_degrades", c.host_degrades);
+    row("cluster", "host_heals", c.host_heals);
+    row("cluster", "vms_admitted", c.cluster_vms_admitted);
+    row("cluster", "vms_rejected", c.cluster_vms_rejected);
+    row("cluster", "evacuations", c.evacuations);
+    row("cluster", "migration_attempts", c.migration_attempts);
+    row("cluster", "migration_retries", c.migration_retries);
+    row("cluster", "migration_rebalances", c.migration_rebalances);
+    row("cluster", "rebalance_moves", c.rebalance_moves);
+    row("cluster", "migration_aborts", c.migration_aborts);
+    row("cluster", "migration_successes", c.migration_successes);
+    row("cluster", "degraded_placements", c.degraded_placements);
+    row("cluster", "evacuations_unresolved", c.evacuations_unresolved);
+    row("cluster", "vm_unavailable_ms", static_cast<uint64_t>(c.vm_unavailable_ns / 1000000));
+  }
   // Allocation profile: opt-in (ExperimentConfig::report_alloc /
   // RTVIRT_REPORT_ALLOC) because RSS and warm-up counts vary across builds
   // and would break byte-identical report comparisons.
@@ -97,6 +120,85 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("alloc", "eq_heap_compactions", c.event_queue.heap_compactions);
   }
   table.Print(out);
+}
+
+void AccumulateResilience(ResilienceCounters& into, const ResilienceCounters& from) {
+  into.hypercall_attempts += from.hypercall_attempts;
+  into.injected_failures += from.injected_failures;
+  into.injected_drops += from.injected_drops;
+  into.injected_spikes += from.injected_spikes;
+  into.outage_failures += from.outage_failures;
+  into.vm_crashes += from.vm_crashes;
+  into.vm_restarts += from.vm_restarts;
+  into.transient_failures += from.transient_failures;
+  into.retries += from.retries;
+  into.retry_successes += from.retry_successes;
+  into.degraded_entries += from.degraded_entries;
+  into.recoveries += from.recoveries;
+  into.repair_attempts += from.repair_attempts;
+  into.backoff_time_ns += from.backoff_time_ns;
+  into.watchdog_reclaims += from.watchdog_reclaims;
+  into.stale_rejections += from.stale_rejections;
+  into.pressure_raises += from.pressure_raises;
+  into.pressure_clears += from.pressure_clears;
+  into.admission_rejections += from.admission_rejections;
+  into.shed_releases += from.shed_releases;
+  into.compressions += from.compressions;
+  into.expansions += from.expansions;
+  into.sheds += from.sheds;
+  into.resumes += from.resumes;
+  into.shed_job_drops += from.shed_job_drops;
+  into.overload_admissions += from.overload_admissions;
+  into.pcpu_offline_events += from.pcpu_offline_events;
+  into.pcpu_online_events += from.pcpu_online_events;
+  into.pcpu_degrade_events += from.pcpu_degrade_events;
+  into.pcpu_heal_events += from.pcpu_heal_events;
+  into.pcpu_evacuations += from.pcpu_evacuations;
+  into.capacity_replans += from.capacity_replans;
+  into.adversarial_deadline_lies += from.adversarial_deadline_lies;
+  into.adversarial_storm_calls += from.adversarial_storm_calls;
+  into.adversarial_thrash_calls += from.adversarial_thrash_calls;
+  into.deadline_lie_rejections += from.deadline_lie_rejections;
+  into.deadline_floor_clamps += from.deadline_floor_clamps;
+  into.replan_budget_trips += from.replan_budget_trips;
+  into.hypercall_rate_rejections += from.hypercall_rate_rejections;
+  into.bw_thrash_trips += from.bw_thrash_trips;
+  into.quarantines += from.quarantines;
+  into.quarantine_releases += from.quarantine_releases;
+  into.quarantine_holds += from.quarantine_holds;
+  into.isolation_violations += from.isolation_violations;
+  into.audit_checks += from.audit_checks;
+  into.audit_violations += from.audit_violations;
+  into.host_crashes += from.host_crashes;
+  into.host_outages += from.host_outages;
+  into.host_degrades += from.host_degrades;
+  into.host_heals += from.host_heals;
+  into.cluster_vms_admitted += from.cluster_vms_admitted;
+  into.cluster_vms_rejected += from.cluster_vms_rejected;
+  into.evacuations += from.evacuations;
+  into.migration_attempts += from.migration_attempts;
+  into.migration_retries += from.migration_retries;
+  into.migration_rebalances += from.migration_rebalances;
+  into.rebalance_moves += from.rebalance_moves;
+  into.migration_aborts += from.migration_aborts;
+  into.migration_successes += from.migration_successes;
+  into.degraded_placements += from.degraded_placements;
+  into.evacuations_unresolved += from.evacuations_unresolved;
+  into.vm_unavailable_ns += from.vm_unavailable_ns;
+  into.alloc_section = into.alloc_section || from.alloc_section;
+  into.warmup_allocs += from.warmup_allocs;
+  into.warmup_alloc_bytes += from.warmup_alloc_bytes;
+  into.steady_allocs += from.steady_allocs;
+  into.steady_alloc_bytes += from.steady_alloc_bytes;
+  into.peak_rss_kb = into.peak_rss_kb > from.peak_rss_kb ? into.peak_rss_kb : from.peak_rss_kb;
+  into.event_queue.schedules += from.event_queue.schedules;
+  into.event_queue.cancels += from.event_queue.cancels;
+  into.event_queue.pops += from.event_queue.pops;
+  into.event_queue.node_allocs += from.event_queue.node_allocs;
+  into.event_queue.calendar_resizes += from.event_queue.calendar_resizes;
+  into.event_queue.heap_compactions += from.event_queue.heap_compactions;
+  into.event_queue.backlog += from.event_queue.backlog;
+  into.event_queue.free_nodes += from.event_queue.free_nodes;
 }
 
 }  // namespace rtvirt

@@ -79,6 +79,31 @@ struct ResilienceCounters {
   uint64_t audit_checks = 0;
   uint64_t audit_violations = 0;
 
+  // Cluster federation (multi-host): host-level fault events, failure-driven
+  // evacuation, and the migration retry/backoff/degradation machinery.
+  // Filled by the Federation (src/cluster/federation.h), summed over all
+  // hosts' counters; all-zero — and unprinted — for single-host runs.
+  uint64_t host_crashes = 0;
+  uint64_t host_outages = 0;
+  uint64_t host_degrades = 0;
+  uint64_t host_heals = 0;
+  uint64_t cluster_vms_admitted = 0;
+  uint64_t cluster_vms_rejected = 0;
+  uint64_t evacuations = 0;
+  uint64_t migration_attempts = 0;
+  uint64_t migration_retries = 0;
+  uint64_t migration_rebalances = 0;
+  uint64_t rebalance_moves = 0;
+  uint64_t migration_aborts = 0;      // In-flight target died; re-routed.
+  uint64_t migration_successes = 0;
+  uint64_t degraded_placements = 0;   // Landed via the compress/shed floors.
+  uint64_t evacuations_unresolved = 0;
+  int64_t vm_unavailable_ns = 0;      // Blackout charged across all moves.
+
+  uint64_t TotalHostFaultEvents() const {
+    return host_crashes + host_outages + host_degrades + host_heals;
+  }
+
   // Allocation profile (perf subsystem, alloc_hooks): operator-new counts
   // split between warm-up (construction through the end of the first Run)
   // and steady state, plus event-queue node-storage allocations. Always
@@ -104,6 +129,11 @@ struct ResilienceCounters {
 
 // Two-column "counter  value" dump, one section per layer.
 void PrintResilience(std::ostream& out, const ResilienceCounters& c);
+
+// Sums every per-run counter of `from` into `into` (cluster reports
+// aggregate one ResilienceCounters per host). alloc_section is OR-ed; the
+// event-queue stats are summed field-wise.
+void AccumulateResilience(ResilienceCounters& into, const ResilienceCounters& from);
 
 }  // namespace rtvirt
 

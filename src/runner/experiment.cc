@@ -105,6 +105,16 @@ GuestOs* Experiment::GuestOf(const Vm* vm) const {
   return nullptr;
 }
 
+void Experiment::CrashGuest(GuestOs* guest) {
+  assert(guest != nullptr);
+  Vm* vm = guest->vm();
+  if (vm->crashed()) {
+    return;
+  }
+  machine_->CrashVm(vm);
+  guest->ResetAfterCrash();
+}
+
 RtvirtGuestChannel* Experiment::ChannelOf(const GuestOs* guest) const {
   for (size_t i = 0; i < guests_.size(); ++i) {
     if (guests_[i].get() == guest) {

@@ -91,6 +91,15 @@ class Experiment {
   // The guest OS driving `vm`, or null for a VM not created via AddGuest.
   GuestOs* GuestOf(const Vm* vm) const;
 
+  // Kills `guest`'s VM through the machine-level fault path and resets the
+  // guest kernel, exactly as an injected VM crash does. Used by the cluster
+  // federation to tear a VM down on its source host before re-placing it
+  // (host failure evacuation / live rebalance move); safe without a fault
+  // injector, and a no-op on an already-crashed VM.
+  void CrashGuest(GuestOs* guest);
+
+  bool started() const { return started_; }
+
   // Fault injection: null unless config.faults is active (armed on Run()).
   FaultInjector* fault_injector() const { return injector_.get(); }
   // Invariant auditor: null unless config.audit.enabled (armed on Run()).

@@ -44,7 +44,7 @@ void PeriodicRta::ReleaseOne() {
   // Publish the next arrival before releasing so the guest's deadline
   // publication sees it.
   task_->set_next_release(now + params_.period);
-  guest_->ReleaseJob(task_, params_.slice, now + params_.period);
+  guest_->ReleaseJob(task_, job_work_ > 0 ? job_work_ : params_.slice, now + params_.period);
   release_event_ = sim->After(params_.period, [this] { ReleaseOne(); });
 }
 

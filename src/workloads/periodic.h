@@ -30,6 +30,13 @@ class PeriodicRta {
   // succeeds or `stop` passes (modelling an application that keeps knocking
   // under overload instead of giving up). Default 0: fail once, stay out.
   void set_admission_retry(TimeNs interval) { admission_retry_ = interval; }
+  // Actual per-job execution demand, <= the reserved slice. Default 0: each
+  // job consumes the full slice — a task provisioned at its exact WCET with
+  // zero laxity, which turns any transient service shortfall into permanent
+  // tardiness (a reservation can only serve at the release rate). Real RTAs
+  // reserve WCET but usually run under it; setting work < slice models that
+  // and gives the task per-period headroom to drain a backlog.
+  void set_job_work(TimeNs work) { job_work_ = work; }
   // Registration attempts made (1 for an immediate success).
   int admission_attempts() const { return admission_attempts_; }
   // Time of the first successful registration; kTimeNever if never admitted.
@@ -43,6 +50,7 @@ class PeriodicRta {
   Task* task_;
   RtaParams params_;
   TimeNs stop_ = 0;
+  TimeNs job_work_ = 0;  // 0 = full slice.
   int admission_result_ = kGuestErrInvalid;
   TimeNs admission_retry_ = 0;
   int admission_attempts_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/cluster/migration_model.h"
 #include "src/cluster/placement.h"
 
@@ -122,6 +124,129 @@ TEST(ClusterPlacement, RebalanceRefusesWhenAggregateFull) {
   ASSERT_TRUE(placer.Place(Req("a", 1.8)).has_value());
   ASSERT_TRUE(placer.Place(Req("b", 1.8)).has_value());
   EXPECT_FALSE(placer.PlanRebalance(Req("c", 1.0)).has_value());
+}
+
+// Host-id accessors must fail loudly, naming the accessor and the offending
+// id, instead of indexing out of bounds.
+TEST(ClusterPlacementDeathTest, HostLoadBoundsChecksHostId) {
+  ClusterPlacer placer({{0, 4}, {1, 4}}, PlacementPolicy::kFirstFit);
+  EXPECT_DEATH(placer.HostLoad(2), "HostLoad: host id 2 out of range");
+  EXPECT_DEATH(placer.HostLoad(-1), "HostLoad: host id -1 out of range");
+}
+
+TEST(ClusterPlacementDeathTest, HostFreeBoundsChecksHostId) {
+  ClusterPlacer placer({{0, 4}, {1, 4}}, PlacementPolicy::kFirstFit);
+  EXPECT_DEATH(placer.HostFree(7), "HostFree: host id 7 out of range");
+  EXPECT_DEATH(placer.HostFree(-3), "HostFree: host id -3 out of range");
+}
+
+TEST(ClusterPlacement, RemoveUnknownVmIsDefinedNoOp) {
+  ClusterPlacer placer({{0, 2}}, PlacementPolicy::kFirstFit);
+  ASSERT_TRUE(placer.Place(Req("a", 1.0)).has_value());
+  // Never-placed name: false, and nothing booked is disturbed.
+  EXPECT_FALSE(placer.Remove("ghost"));
+  EXPECT_EQ(placer.HostLoad(0), Bandwidth::FromDouble(1.0));
+  EXPECT_FALSE(placer.Remove(""));
+  EXPECT_EQ(placer.HostLoad(0), Bandwidth::FromDouble(1.0));
+}
+
+TEST(ClusterPlacement, ZeroBandwidthRequestPlacesAndConsumesNothing) {
+  ClusterPlacer placer({{0, 2}, {1, 2}}, PlacementPolicy::kFirstFit);
+  auto host = placer.Place(Req("idle", 0.0));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, 0);  // First-fit picks the first eligible host.
+  EXPECT_EQ(placer.HostLoad(*host), Bandwidth());
+  EXPECT_EQ(placer.HostFree(*host), Bandwidth::FromDouble(2.0));
+  // The booking is real: it can be removed exactly once.
+  EXPECT_TRUE(placer.Remove("idle"));
+  EXPECT_FALSE(placer.Remove("idle"));
+}
+
+TEST(ClusterPlacement, ZeroBandwidthAvoidsUnavailableAndOverbookedHosts) {
+  ClusterPlacer placer({{0, 2}, {1, 2}, {2, 2}}, PlacementPolicy::kFirstFit);
+  placer.SetHostAvailable(0, false);
+  // Overbook host 1 by degrading its capacity under its booked load: free
+  // capacity goes negative, so even a zero-bandwidth VM must not land there.
+  ASSERT_TRUE(placer.Place(Req("b", 1.5)).has_value());
+  ASSERT_EQ(placer.HostLoad(1), Bandwidth::FromDouble(1.5));
+  placer.SetHostCapacityFactor(1, 0.5);
+  ASSERT_LT(placer.HostFree(1).ppb(), 0);
+  auto host = placer.Place(Req("idle", 0.0));
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, 2);
+}
+
+// Edge cases of the pre-copy model. Exactly non-convergent: a dirty rate
+// equal to the link rate falls back to stop-and-copy, same as dirty > link.
+TEST(MigrationModel, DirtyRateEqualToLinkFallsBackToStopAndCopy) {
+  MigrationCostModel m;
+  m.memory_gb = 4.0;
+  m.dirty_rate_gbps = 10.0;
+  m.link_gbps = 10.0;
+  auto est = m.Predict();
+  EXPECT_EQ(est.rounds, 0);
+  EXPECT_EQ(est.total_time, est.downtime);
+  EXPECT_NEAR(ToSec(est.downtime), 4.0 * 8 / 10, 0.01);
+}
+
+// In stop-and-copy the dirty rate no longer matters: the VM is paused, so
+// the estimate depends only on memory and link.
+TEST(MigrationModel, StopAndCopyDowntimeIndependentOfDirtyRate) {
+  MigrationCostModel at_link;
+  at_link.dirty_rate_gbps = 10.0;
+  MigrationCostModel above_link;
+  above_link.dirty_rate_gbps = 25.0;
+  EXPECT_EQ(at_link.Predict().downtime, above_link.Predict().downtime);
+  EXPECT_EQ(at_link.Predict().total_time, above_link.Predict().total_time);
+}
+
+// Convergent but slow: rho = 0.9 shrinks the residual by only 10% per
+// round, so the 4 GB image still exceeds the 0.05 GB downtime target when
+// max_rounds runs out, and the model stops the VM with the residual it has.
+TEST(MigrationModel, MaxRoundsExhaustionBoundsThePrecopyPhase) {
+  MigrationCostModel m;
+  m.memory_gb = 4.0;
+  m.dirty_rate_gbps = 9.0;
+  m.link_gbps = 10.0;
+  auto est = m.Predict();
+  EXPECT_EQ(est.rounds, m.max_rounds);
+  // Residual after 30 rounds: 4 * 0.9^30 ~= 0.170 GB, over 10 Gbps.
+  EXPECT_NEAR(ToSec(est.downtime), 4.0 * std::pow(0.9, 30) * 8 / 10, 0.001);
+  EXPECT_GT(est.total_time, est.downtime);
+  // Tightening the budget can only lengthen the blackout.
+  MigrationCostModel fewer = m;
+  fewer.max_rounds = 10;
+  EXPECT_GT(fewer.Predict().downtime, est.downtime);
+  EXPECT_EQ(fewer.Predict().rounds, 10);
+}
+
+// Across the convergence boundary — from barely-convergent pre-copy through
+// max_rounds exhaustion into the stop-and-copy fallback — downtime is
+// monotone non-decreasing in the dirty rate: a dirtier VM can never promise
+// a shorter blackout. (Globally the curve is not monotone: a faster-dirtying
+// VM may give up pre-copy earlier and pay less total time, but the final
+// blackout only grows.)
+TEST(MigrationModel, DowntimeMonotoneInDirtyRateOnceRoundsAreCapped) {
+  const double kDirty[] = {8.0, 8.5, 9.0, 9.5, 9.9, 10.0, 12.0};
+  MigrationCostModel m;
+  m.memory_gb = 4.0;
+  m.link_gbps = 10.0;
+  TimeNs prev = 0;
+  for (double dirty : kDirty) {
+    m.dirty_rate_gbps = dirty;
+    auto est = m.Predict();
+    EXPECT_LE(prev, est.downtime) << "downtime regressed at dirty rate " << dirty;
+    prev = est.downtime;
+  }
+}
+
+TEST(MigrationModel, DegenerateInputsYieldZeroEstimate) {
+  MigrationCostModel m;
+  m.memory_gb = 0.0;
+  EXPECT_EQ(m.Predict().total_time, 0);
+  m.memory_gb = 4.0;
+  m.link_gbps = 0.0;
+  EXPECT_EQ(m.Predict().total_time, 0);
 }
 
 }  // namespace
