@@ -29,7 +29,9 @@
 // Soak extension: RTVIRT_CLUSTER_SOAK_SEEDS=N additionally runs N randomized
 // host-fault plans on a 3-host cluster, each twice, asserting zero auditor
 // violations, no abandoned evacuations, every VM home by the end, and a
-// byte-identical report between the paired runs (weekly CI matrix).
+// byte-identical report between the paired runs (weekly CI matrix). Seeds
+// run as supervised sweep shards: RTVIRT_CLUSTER_SOAK_JOBS=N fans them out,
+// and a crashed seed becomes a recorded FAIL line instead of ending the run.
 
 #include <cstdlib>
 #include <iostream>
@@ -42,6 +44,7 @@
 #include "src/cluster/federation.h"
 #include "src/common/rng.h"
 #include "src/metrics/resilience.h"
+#include "src/sweep/sweep.h"
 
 namespace rtvirt::bench {
 namespace {
@@ -427,26 +430,49 @@ SoakOutcome RunSoak(uint64_t seed) {
   return out;
 }
 
+// One soak shard = one seed run twice (in-shard byte-identity check). The
+// shard report is empty on success and carries the FAIL diagnostics
+// otherwise, so the merged output matches the historical serial format while
+// the sweep runner (src/sweep) supplies crash/hang containment and --jobs
+// parallelism (RTVIRT_CLUSTER_SOAK_JOBS, default 1).
 void Soak(int seeds, bool& failed) {
   Header("Cluster soak: randomized host fault plans, " + std::to_string(seeds) +
          " seeds, each run twice (determinism check)");
+  sweep::SweepConfig sc;
+  sc.max_attempts = 2;
+  if (const char* env = std::getenv("RTVIRT_CLUSTER_SOAK_JOBS")) {
+    sc.jobs = std::atoi(env);
+  }
+  sweep::SweepReport rep =
+      sweep::RunSweep(sc, seeds, [](const sweep::ShardContext& ctx) {
+        uint64_t seed = static_cast<uint64_t>(ctx.shard) + 1;
+        SoakOutcome a = RunSoak(seed);
+        SoakOutcome b = RunSoak(seed);
+        bool deterministic = a.report == b.report;
+        sweep::ShardResult out;
+        if (deterministic && a.audit_clean && a.none_lost && a.all_home) {
+          return out;
+        }
+        std::ostringstream os;
+        os << "seed " << seed << ": FAIL (deterministic=" << deterministic
+           << " audit_clean=" << a.audit_clean << " none_lost=" << a.none_lost
+           << " all_home=" << a.all_home << ")\n";
+        if (!deterministic) {
+          os << "--- first run ---\n" << a.report << "--- second run ---\n" << b.report;
+        }
+        out.report = os.str();
+        return out;
+      });
   int clean = 0;
-  for (int s = 1; s <= seeds; ++s) {
-    SoakOutcome a = RunSoak(static_cast<uint64_t>(s));
-    SoakOutcome b = RunSoak(static_cast<uint64_t>(s));
-    bool deterministic = a.report == b.report;
-    bool ok = deterministic && a.audit_clean && a.none_lost && a.all_home;
-    if (ok) {
+  for (int s = 0; s < seeds; ++s) {
+    const sweep::ShardOutcome& o = rep.shards[static_cast<size_t>(s)];
+    if (o.outcome == sweep::Outcome::kClean && o.report.empty()) {
       ++clean;
+    } else if (o.outcome == sweep::Outcome::kClean) {
+      std::cout << o.report;
     } else {
-      std::cout << "seed " << s << ": FAIL (deterministic=" << deterministic
-                << " audit_clean=" << a.audit_clean << " none_lost=" << a.none_lost
-                << " all_home=" << a.all_home << ")\n";
-      if (!deterministic) {
-        std::cout << "--- first run ---\n"
-                  << a.report << "--- second run ---\n"
-                  << b.report;
-      }
+      std::cout << "seed " << (s + 1) << ": " << sweep::OutcomeName(o.outcome)
+                << " (attempts=" << o.attempts << ": " << o.reason << ")\n";
     }
   }
   std::cout << "check: " << clean << "/" << seeds << " seeds clean => "

@@ -6,23 +6,34 @@
 // a dedicated byzantine VM), laid out non-overlapping per core so
 // FaultPlan::Validate accepts it — and drives a churned two-tier workload
 // through it with the full recovery stack enabled (pcpu_recovery + overload
-// renegotiation + guest_trust boundary + invariant auditor). The process
-// exits nonzero if any seed ends with audit violations, an isolation-
-// invariant violation, an unarmed auditor, or a fault/attack path that never
-// fired; RTVIRT_CHECK failures abort outright. Under ASan/UBSan (the CI
-// configuration) this doubles as a memory/UB sweep over the whole
-// evacuation/re-plan/renegotiation/quarantine machinery.
+// renegotiation + guest_trust boundary + invariant auditor). Independent
+// streams (plan vs per-tier churn) are decorrelated via DeriveSeed.
 //
-// RTVIRT_SOAK_SEEDS overrides the seed count (default 5 keeps a local run
-// in seconds; the weekly job raises it).
+// Seeds run as shards of the supervised sweep runner (src/sweep): `--jobs=N`
+// fans them out over a worker pool, a crashed or hung seed becomes a
+// recorded per-shard outcome (`clean` / `failed(reason)` / `timeout` /
+// `exhausted`) instead of killing the soak and losing every other seed's
+// row, and the merged table is assembled in seed order — byte-identical for
+// any jobs count. The process exits nonzero if any seed ends with audit
+// violations, an isolation-invariant violation, an unarmed auditor, a
+// fault/attack path that never fired, or an unresolved (crashed/hung past
+// its attempt budget) shard. Under ASan/UBSan (the CI configuration) this
+// doubles as a memory/UB sweep over the whole evacuation/re-plan/
+// renegotiation/quarantine machinery.
+//
+// Flags (env RTVIRT_SOAK_SEEDS / RTVIRT_SOAK_JOBS are lower-precedence
+// equivalents of --seeds / --jobs): --seeds=N, --jobs=N,
+// --isolate=thread|process, --watchdog-ms=N, --attempts=N.
 
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/metrics/resilience.h"
+#include "src/sweep/sweep.h"
 #include "src/workloads/churn.h"
 
 namespace rtvirt::bench {
@@ -31,12 +42,16 @@ namespace {
 constexpr TimeNs kRun = Sec(6);
 constexpr int kPcpus = 4;
 
+// Per-seed stream indices for DeriveSeed: the fault plan and the two churn
+// drivers draw from decorrelated engines by construction.
+enum SeedStream : uint64_t { kPlanStream = 0, kHiChurnStream = 1, kLoChurnStream = 2 };
+
 // A random but always-valid plan: per core, an ordered walk of the run
 // leaves every generated window disjoint from its predecessors by
 // construction. Core 0 is never faulted so the machine always retains
 // capacity to renegotiate over.
 FaultPlan RandomPlan(uint64_t seed) {
-  Rng rng(seed * 7919 + 17);
+  Rng rng(DeriveSeed(seed, kPlanStream));
   FaultPlan plan;
   plan.seed = seed;
   for (int core = 1; core < kPcpus; ++core) {
@@ -92,6 +107,7 @@ struct SoakResult {
   size_t planned_faults = 0;
   bool ok = false;
   std::string why;
+  std::string notes;  // Audit-violation details for a failing seed.
 };
 
 SoakResult SoakOne(uint64_t seed) {
@@ -126,8 +142,8 @@ SoakResult SoakOne(uint64_t seed) {
   lo_cfg.profile = RtaParams{Us(4500), Ms(10)};
   lo_cfg.elastic_min_fraction = 0.5;
   DeadlineMonitor hi_mon, lo_mon;
-  ChurnDriver hi_churn(hi, hi_cfg, Rng(seed * 31 + 5), &hi_mon);
-  ChurnDriver lo_churn(lo, lo_cfg, Rng(seed * 31 + 6), &lo_mon);
+  ChurnDriver hi_churn(hi, hi_cfg, Rng(DeriveSeed(seed, kHiChurnStream)), &hi_mon);
+  ChurnDriver lo_churn(lo, lo_cfg, Rng(DeriveSeed(seed, kLoChurnStream)), &lo_mon);
   hi_churn.Start();
   lo_churn.Start();
   exp.Run(kRun);
@@ -140,10 +156,12 @@ SoakResult SoakOne(uint64_t seed) {
   } else if (r.rc.isolation_violations > 0 || r.rc.audit_violations > 0) {
     r.why = r.rc.isolation_violations > 0 ? "isolation invariant violated"
                                           : "audit violations";
+    std::ostringstream notes;
     for (const AuditViolation& v : exp.auditor()->violations()) {
-      std::cout << "  violation @" << v.time << " ns [" << v.invariant << "] " << v.detail
-                << "\n";
+      notes << "  seed " << seed << " violation @" << v.time << " ns [" << v.invariant
+            << "] " << v.detail << "\n";
     }
+    r.notes = notes.str();
   } else if (r.planned_faults > 0 &&
              r.rc.pcpu_offline_events + r.rc.pcpu_degrade_events == 0) {
     r.why = "planned faults never fired";
@@ -160,35 +178,147 @@ SoakResult SoakOne(uint64_t seed) {
   return r;
 }
 
-int Soak() {
-  int seeds = 5;
-  if (const char* env = std::getenv("RTVIRT_SOAK_SEEDS")) {
-    seeds = std::atoi(env);
+// Shard report wire format: line 1 = tab-separated table cells, remaining
+// lines (if any) = verbatim per-seed notes printed after the table.
+std::string RowFor(uint64_t seed, const SoakResult& r) {
+  std::ostringstream os;
+  os << seed << '\t' << r.planned_faults << '\t' << r.rc.pcpu_evacuations << '\t'
+     << r.rc.capacity_replans << '\t' << r.rc.sheds << '\t' << r.rc.resumes << '\t'
+     << r.rc.deadline_lie_rejections << '\t' << r.rc.hypercall_rate_rejections << '\t'
+     << r.rc.quarantines << '/' << r.rc.quarantine_releases << '\t'
+     << r.rc.audit_violations << '/' << r.rc.audit_checks << '\t'
+     << (r.ok ? "ok" : r.why);
+  if (!r.notes.empty()) {
+    os << '\n' << r.notes;
   }
+  return os.str();
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t begin = 0;
+  while (true) {
+    size_t tab = line.find('\t', begin);
+    cells.push_back(line.substr(begin, tab == std::string::npos ? tab : tab - begin));
+    if (tab == std::string::npos) {
+      break;
+    }
+    begin = tab + 1;
+  }
+  return cells;
+}
+
+struct Options {
+  int seeds = 5;
+  sweep::SweepConfig sweep;
+};
+
+int64_t FlagValue(const std::string& arg, const std::string& name) {
+  return std::atoll(arg.substr(name.size()).c_str());
+}
+
+Options Parse(int argc, char** argv) {
+  Options opt;
+  opt.sweep.jobs = 1;
+  opt.sweep.max_attempts = 2;
+  opt.sweep.backoff_initial_ms = 50;
+  opt.sweep.backoff_cap_ms = 2000;
+  if (const char* env = std::getenv("RTVIRT_SOAK_SEEDS")) {
+    opt.seeds = std::atoi(env);
+  }
+  if (const char* env = std::getenv("RTVIRT_SOAK_JOBS")) {
+    opt.sweep.jobs = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      opt.seeds = static_cast<int>(FlagValue(arg, "--seeds="));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.sweep.jobs = static_cast<int>(FlagValue(arg, "--jobs="));
+    } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+      opt.sweep.shard_deadline_ms = FlagValue(arg, "--watchdog-ms=");
+    } else if (arg.rfind("--attempts=", 0) == 0) {
+      opt.sweep.max_attempts = static_cast<int>(FlagValue(arg, "--attempts="));
+    } else if (arg == "--isolate=process") {
+      opt.sweep.isolation = sweep::Isolation::kProcess;
+    } else if (arg == "--isolate=thread") {
+      opt.sweep.isolation = sweep::Isolation::kThread;
+    } else {
+      std::cerr << "fault_soak: unknown flag " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+int Soak(const Options& opt) {
   Header("Randomized PCPU-fault soak: recovery + audit across " +
-         std::to_string(seeds) + " seeds");
+         std::to_string(opt.seeds) + " seeds");
+  // Execution diagnostics go to stderr: the stdout report stays
+  // byte-identical across jobs counts and isolation modes.
+  std::cerr << "fault_soak: jobs=" << opt.sweep.jobs << " isolate="
+            << (opt.sweep.isolation == sweep::Isolation::kProcess ? "process" : "thread")
+            << " attempts=" << opt.sweep.max_attempts
+            << " watchdog_ms=" << opt.sweep.shard_deadline_ms << "\n";
+
+  sweep::SweepReport rep =
+      sweep::RunSweep(opt.sweep, opt.seeds, [](const sweep::ShardContext& ctx) {
+        sweep::ShardResult out;
+        out.report = RowFor(static_cast<uint64_t>(ctx.shard) + 1,
+                            SoakOne(static_cast<uint64_t>(ctx.shard) + 1));
+        return out;
+      });
+
   TablePrinter table({"seed", "faults", "evac", "replans", "sheds", "resumes",
                       "lie_rej", "rate_rej", "quar", "audit", "result"});
-  int failures = 0;
-  for (int s = 1; s <= seeds; ++s) {
-    SoakResult r = SoakOne(static_cast<uint64_t>(s));
-    if (!r.ok) {
-      ++failures;
+  std::string notes;
+  int verdict_failures = 0;
+  for (int s = 0; s < opt.seeds; ++s) {
+    const sweep::ShardOutcome& o = rep.shards[static_cast<size_t>(s)];
+    if (o.outcome == sweep::Outcome::kClean) {
+      std::string first = o.report.substr(0, o.report.find('\n'));
+      if (first.size() < o.report.size()) {
+        notes += o.report.substr(first.size() + 1);
+      }
+      std::vector<std::string> cells = SplitTabs(first);
+      if (cells.back() != "ok") {
+        ++verdict_failures;
+      }
+      table.AddRow(cells);
+    } else {
+      // The shard never produced a row: its outcome line below says why.
+      table.AddRow({std::to_string(s + 1), "-", "-", "-", "-", "-", "-", "-", "-", "-",
+                    std::string(sweep::OutcomeName(o.outcome))});
     }
-    table.AddRow({std::to_string(s), std::to_string(r.planned_faults),
-                  std::to_string(r.rc.pcpu_evacuations),
-                  std::to_string(r.rc.capacity_replans), std::to_string(r.rc.sheds),
-                  std::to_string(r.rc.resumes),
-                  std::to_string(r.rc.deadline_lie_rejections),
-                  std::to_string(r.rc.hypercall_rate_rejections),
-                  std::to_string(r.rc.quarantines) + "/" +
-                      std::to_string(r.rc.quarantine_releases),
-                  std::to_string(r.rc.audit_violations) + "/" +
-                      std::to_string(r.rc.audit_checks),
-                  r.ok ? "ok" : r.why});
   }
   table.Print(std::cout);
-  std::cout << "check: " << (seeds - failures) << "/" << seeds
+  if (!notes.empty()) {
+    std::cout << notes;
+  }
+
+  // Per-shard execution outcome lines: CI logs show which seed died and why
+  // (a seed that aborts mid-run no longer takes the soak's table with it).
+  std::cout << "shard outcomes:\n";
+  for (int s = 0; s < opt.seeds; ++s) {
+    const sweep::ShardOutcome& o = rep.shards[static_cast<size_t>(s)];
+    std::cout << "  seed " << (s + 1) << ": " << sweep::OutcomeName(o.outcome);
+    if (o.outcome == sweep::Outcome::kClean) {
+      if (o.recovered) {
+        std::cout << " (recovered on attempt " << o.attempts
+                  << "; last failure: " << o.reason << ")";
+      }
+    } else {
+      std::cout << " (attempts=" << o.attempts << ": " << o.reason << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "sweep: clean=" << rep.clean << " recovered=" << rep.recovered
+            << " unresolved=" << rep.unresolved << " retries=" << rep.retries
+            << " timeouts=" << rep.timeouts << " check_failures=" << rep.check_failures
+            << " crashes=" << rep.crashes << "\n";
+
+  int failures = verdict_failures + rep.unresolved;
+  std::cout << "check: " << (opt.seeds - failures) << "/" << opt.seeds
             << " seeds clean => " << (failures == 0 ? "PASS" : "FAIL") << "\n";
   return failures == 0 ? 0 : 1;
 }
@@ -196,4 +326,6 @@ int Soak() {
 }  // namespace
 }  // namespace rtvirt::bench
 
-int main() { return rtvirt::bench::Soak(); }
+int main(int argc, char** argv) {
+  return rtvirt::bench::Soak(rtvirt::bench::Parse(argc, argv));
+}

@@ -14,6 +14,25 @@
 
 namespace rtvirt {
 
+// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom number
+// generators"): a full-avalanche 64-bit mix, so sequential inputs land on
+// statistically independent outputs.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Derives the seed for stream `stream` of a run seeded with `base`. Distinct
+// (base, stream) pairs map to decorrelated seeds by construction — unlike the
+// ad-hoc `seed * k + c` multiplier streams this replaces, where nearby bases
+// produce correlated engine states. Use one stream index per independent
+// generator (fault plan, per-tier churn, per-shard sweep work, ...).
+constexpr uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  return SplitMix64(SplitMix64(base) + 0x9E3779B97F4A7C15ull * stream);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

@@ -1,0 +1,48 @@
+// Scoped containment of RTVIRT_CHECK failures for sweep shard workers.
+//
+// While a ScopedCheckCapture is alive on a thread, an RTVIRT_CHECK violation
+// on that thread throws CheckFailure (carrying the formatted diagnostic)
+// instead of writing to stderr and aborting the process. The sweep runner
+// wraps each kThread-isolation shard attempt in one so a shard's invariant
+// violation unwinds that shard only and becomes a recorded, retryable
+// failure.
+//
+// Containment is best-effort by design: stack unwinding runs destructors of
+// the failed shard's half-torn-down simulation, and a *second* check failure
+// raised from one of those destructors aborts outright (the handler is
+// cleared before it throws). Shards that must survive arbitrary aborts run
+// under kProcess isolation instead, where the fork boundary is the handler.
+
+#ifndef SRC_SWEEP_CHECK_CAPTURE_H_
+#define SRC_SWEEP_CHECK_CAPTURE_H_
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace rtvirt::sweep {
+
+struct CheckFailure {
+  std::string message;  // The full formatted RTVIRT_CHECK diagnostic.
+};
+
+namespace capture_internal {
+
+[[noreturn]] inline void Throw(const char* message) { throw CheckFailure{message}; }
+
+}  // namespace capture_internal
+
+class ScopedCheckCapture {
+ public:
+  ScopedCheckCapture() : previous_(SetCheckFailureHandler(&capture_internal::Throw)) {}
+  ~ScopedCheckCapture() { SetCheckFailureHandler(previous_); }
+  ScopedCheckCapture(const ScopedCheckCapture&) = delete;
+  ScopedCheckCapture& operator=(const ScopedCheckCapture&) = delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+}  // namespace rtvirt::sweep
+
+#endif  // SRC_SWEEP_CHECK_CAPTURE_H_

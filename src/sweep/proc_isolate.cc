@@ -1,0 +1,264 @@
+#include "src/sweep/proc_isolate.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RTVIRT_SWEEP_HAS_FORK 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define RTVIRT_SWEEP_HAS_FORK 0
+#endif
+
+namespace rtvirt::sweep {
+
+bool ProcessIsolationSupported() { return RTVIRT_SWEEP_HAS_FORK != 0; }
+
+#if RTVIRT_SWEEP_HAS_FORK
+
+namespace {
+
+// Result wire format, child -> parent: a fixed magic byte (so a child that
+// dies mid-write is distinguishable from one that never reported), the ok
+// flag, then length-prefixed reason and report. All writes are raw write(2):
+// the child _exit()s without flushing stdio.
+constexpr uint8_t kMagic = 0xA7;
+
+bool WriteAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteString(int fd, const std::string& s, bool& ok) {
+  uint64_t len = s.size();
+  ok = ok && WriteAll(fd, &len, sizeof(len));
+  ok = ok && WriteAll(fd, s.data(), s.size());
+}
+
+bool ReadString(const std::string& buf, size_t& off, std::string& out) {
+  if (buf.size() - off < sizeof(uint64_t)) {
+    return false;
+  }
+  uint64_t len = 0;
+  std::memcpy(&len, buf.data() + off, sizeof(len));
+  off += sizeof(len);
+  if (buf.size() - off < len) {
+    return false;
+  }
+  out.assign(buf.data() + off, len);
+  off += len;
+  return true;
+}
+
+// First non-empty line of the child's captured stderr — for an RTVIRT_CHECK
+// abort this is the single-write diagnostic line (see src/common/check.h).
+std::string FirstStderrLine(const std::string& err) {
+  size_t begin = err.find_first_not_of('\n');
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = err.find('\n', begin);
+  std::string line = err.substr(begin, end == std::string::npos ? end : end - begin);
+  constexpr size_t kMaxLine = 240;
+  if (line.size() > kMaxLine) {
+    line.resize(kMaxLine);
+  }
+  return line;
+}
+
+std::string DescribeExit(int status, const std::string& child_stderr) {
+  char buf[64];
+  if (WIFSIGNALED(status)) {
+    std::snprintf(buf, sizeof(buf), "crash: signal %d", WTERMSIG(status));
+  } else if (WIFEXITED(status)) {
+    std::snprintf(buf, sizeof(buf), "crash: exit status %d without result",
+                  WEXITSTATUS(status));
+  } else {
+    std::snprintf(buf, sizeof(buf), "crash: unknown wait status");
+  }
+  std::string reason = buf;
+  std::string line = FirstStderrLine(child_stderr);
+  if (!line.empty()) {
+    reason += ": " + line;
+  }
+  return reason;
+}
+
+[[noreturn]] void ChildMain(const ShardFn& fn, const ShardContext& ctx, int data_fd,
+                            int err_fd) {
+  // Route the shard's stderr (RTVIRT_CHECK diagnostics, sanitizer reports)
+  // to the capture pipe; stdout is silenced so a chatty shard body cannot
+  // corrupt the parent's merged report.
+  ::dup2(err_fd, 2);
+  int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, 1);
+  }
+  // Close every other inherited descriptor. Concurrent attempts fork in
+  // parallel, so this child may hold other shards' pipe write-ends; leaving
+  // one open would hold that shard's parent read loop past its own child's
+  // death — a spurious watchdog timeout for a shard that exited instantly.
+  long max_fd = ::sysconf(_SC_OPEN_MAX);
+  if (max_fd < 0 || max_fd > 65536) {
+    max_fd = 65536;
+  }
+  for (int fd = 3; fd < static_cast<int>(max_fd); ++fd) {
+    if (fd != data_fd) {
+      ::close(fd);
+    }
+  }
+  ShardResult r = fn(ctx);
+  bool ok = WriteAll(data_fd, &kMagic, 1);
+  uint8_t okbyte = r.ok ? 1 : 0;
+  ok = ok && WriteAll(data_fd, &okbyte, 1);
+  WriteString(data_fd, r.reason, ok);
+  WriteString(data_fd, r.report, ok);
+  // _exit, not exit: no atexit handlers or static destructors in the child,
+  // and no double-flush of stdio buffers inherited from the parent.
+  ::_exit(ok ? 0 : 3);
+}
+
+}  // namespace
+
+ProcAttemptOutcome RunShardAttemptInProcess(const ShardFn& fn, const ShardContext& ctx,
+                                            int64_t deadline_ms) {
+  ProcAttemptOutcome out;
+  int data_pipe[2];
+  int err_pipe[2];
+  if (::pipe(data_pipe) != 0) {
+    out.reason = "process isolation: pipe() failed";
+    return out;
+  }
+  if (::pipe(err_pipe) != 0) {
+    ::close(data_pipe[0]);
+    ::close(data_pipe[1]);
+    out.reason = "process isolation: pipe() failed";
+    return out;
+  }
+  // Flush before fork so buffered output is not emitted twice.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {data_pipe[0], data_pipe[1], err_pipe[0], err_pipe[1]}) {
+      ::close(fd);
+    }
+    out.reason = "process isolation: fork() failed";
+    return out;
+  }
+  if (pid == 0) {
+    ::close(data_pipe[0]);
+    ::close(err_pipe[0]);
+    ChildMain(fn, ctx, data_pipe[1], err_pipe[1]);
+  }
+  ::close(data_pipe[1]);
+  ::close(err_pipe[1]);
+
+  std::string data;
+  std::string child_stderr;
+  bool timed_out = false;
+  Clock* clock = RealClock();
+  int64_t start_ms = clock->NowMs();
+  struct pollfd fds[2] = {{data_pipe[0], POLLIN, 0}, {err_pipe[0], POLLIN, 0}};
+  int open_fds = 2;
+  while (open_fds > 0) {
+    int timeout = -1;
+    if (deadline_ms > 0) {
+      int64_t left = deadline_ms - (clock->NowMs() - start_ms);
+      if (left <= 0) {
+        timed_out = true;
+        break;
+      }
+      timeout = static_cast<int>(left > 1000 ? 1000 : left);
+    }
+    int n = ::poll(fds, 2, timeout);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (auto& p : fds) {
+      if (p.fd < 0 || (p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      char buf[4096];
+      ssize_t got = ::read(p.fd, buf, sizeof(buf));
+      if (got > 0) {
+        (p.fd == data_pipe[0] ? data : child_stderr).append(buf, static_cast<size_t>(got));
+      } else if (got == 0 || (got < 0 && errno != EINTR)) {
+        ::close(p.fd);
+        p.fd = -1;
+        --open_fds;
+      }
+    }
+  }
+  if (timed_out) {
+    ::kill(pid, SIGKILL);
+  }
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  // Drain whatever the child managed to write before it died.
+  for (auto& p : fds) {
+    if (p.fd < 0) {
+      continue;
+    }
+    char buf[4096];
+    ssize_t got;
+    while ((got = ::read(p.fd, buf, sizeof(buf))) > 0) {
+      (p.fd == data_pipe[0] ? data : child_stderr).append(buf, static_cast<size_t>(got));
+    }
+    ::close(p.fd);
+  }
+
+  if (timed_out) {
+    out.kind = AttemptKind::kTimeout;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "watchdog: exceeded %lld ms shard deadline (killed)",
+                  static_cast<long long>(deadline_ms));
+    out.reason = buf;
+    return out;
+  }
+  // A complete record requires the magic byte, the ok flag, and both
+  // length-prefixed strings.
+  if (data.size() >= 2 && static_cast<uint8_t>(data[0]) == kMagic) {
+    size_t off = 2;
+    ShardResult r;
+    r.ok = data[1] != 0;
+    if (ReadString(data, off, r.reason) && ReadString(data, off, r.report)) {
+      out.kind = r.ok ? AttemptKind::kClean : AttemptKind::kFailed;
+      out.result = std::move(r);
+      return out;
+    }
+  }
+  out.kind = AttemptKind::kCrash;
+  out.reason = DescribeExit(status, child_stderr);
+  return out;
+}
+
+#else  // !RTVIRT_SWEEP_HAS_FORK
+
+ProcAttemptOutcome RunShardAttemptInProcess(const ShardFn&, const ShardContext&,
+                                            int64_t) {
+  ProcAttemptOutcome out;
+  out.reason = "process isolation unsupported on this platform";
+  return out;
+}
+
+#endif  // RTVIRT_SWEEP_HAS_FORK
+
+}  // namespace rtvirt::sweep

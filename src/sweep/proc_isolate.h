@@ -1,0 +1,40 @@
+// fork()-per-shard attempt execution (POSIX) for the sweep runner.
+//
+// The child runs the shard body, serializes its ShardResult over a pipe and
+// _exit()s; the parent polls the pipe under the attempt deadline. A child
+// that aborts (hard RTVIRT_CHECK, ASan error, segfault) or is SIGKILLed by
+// the deadline becomes a recorded attempt failure with the terminating
+// signal — and the first line of its captured stderr, which for an
+// RTVIRT_CHECK abort is the formatted diagnostic — as the reason. This is
+// the isolation mode that makes even non-cooperating hangs and hard aborts
+// reclaimable; kThread containment (check_capture.h) is the cheap path.
+
+#ifndef SRC_SWEEP_PROC_ISOLATE_H_
+#define SRC_SWEEP_PROC_ISOLATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sweep/sweep.h"
+
+namespace rtvirt::sweep {
+
+// True when fork-based isolation is compiled in (POSIX).
+bool ProcessIsolationSupported();
+
+struct ProcAttemptOutcome {
+  AttemptKind kind = AttemptKind::kCrash;
+  ShardResult result;  // Valid when kind is kClean or kFailed.
+  std::string reason;  // Failure description for kCrash/kTimeout.
+};
+
+// Runs one shard attempt in a forked child. `deadline_ms` is a wall-clock
+// budget for the attempt (0 = unlimited); on expiry the child is SIGKILLed
+// and the attempt reported as kTimeout. Must not be called on unsupported
+// platforms (returns a kCrash outcome there).
+ProcAttemptOutcome RunShardAttemptInProcess(const ShardFn& fn, const ShardContext& ctx,
+                                            int64_t deadline_ms);
+
+}  // namespace rtvirt::sweep
+
+#endif  // SRC_SWEEP_PROC_ISOLATE_H_

@@ -1,0 +1,211 @@
+// Supervised parallel shard runner (DESIGN.md §8).
+//
+// Runs N independent shards — typically one seeded Experiment/Federation
+// each — on a fixed pool of worker threads, under a shard supervisor that
+// treats the harness itself as a fallible layer:
+//
+//   * crash containment — in kThread isolation an RTVIRT_CHECK failure
+//     inside a shard is captured (scoped thread-local handler, see
+//     check_capture.h) and recorded as a shard failure instead of killing
+//     the whole sweep; kProcess isolation forks per shard so even hard
+//     aborts and real hangs become a recorded outcome;
+//   * watchdog — a per-shard wall-clock deadline; expired shards are marked
+//     timed out, the stuck worker is reclaimed (cancel flag + replacement
+//     thread in kThread mode, SIGKILL in kProcess mode) and the shard
+//     re-enters the retry queue;
+//   * bounded retry — exponential backoff between attempts with a per-shard
+//     attempt budget; a shard that exhausts its budget is quarantined (never
+//     re-dispatched) and reported as an unresolved outcome, never silently
+//     dropped;
+//   * graceful degradation — jobs<=1, or every thread-creation attempt
+//     failing, falls back to in-caller serial execution;
+//   * deterministic merge — results are keyed by shard index and the merged
+//     report is assembled in shard order after the sweep completes, so it is
+//     byte-identical for any jobs count and any completion order.
+//
+// The retry/deadline/quarantine *policy* lives in ShardSupervisor, which is
+// single-threaded and clock-injected so the watchdog and backoff schedules
+// are unit-testable with a fake clock; RunSweep adds the threads.
+
+#ifndef SRC_SWEEP_SWEEP_H_
+#define SRC_SWEEP_SWEEP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rtvirt::sweep {
+
+// Wall-clock abstraction so supervisor policy tests can drive time by hand.
+// Milliseconds since an arbitrary epoch; only differences are used.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMs() = 0;
+  virtual void SleepMs(int64_t ms) = 0;
+};
+
+// The process-wide monotonic clock (CLOCK_MONOTONIC granularity).
+Clock* RealClock();
+
+enum class Isolation {
+  kThread,   // Shards share the process; RTVIRT_CHECK failures are captured.
+  kProcess,  // fork() per shard attempt (POSIX): hard aborts and hangs too.
+};
+
+// What a shard body hands back on a completed attempt.
+struct ShardResult {
+  bool ok = true;      // false = contained, retryable failure (see reason).
+  std::string reason;  // Failure description when !ok.
+  std::string report;  // Shard-local report text, merged in shard order.
+};
+
+// Handed to the shard body on each attempt.
+struct ShardContext {
+  int shard = 0;
+  int attempt = 1;    // 1-based.
+  uint64_t seed = 0;  // DeriveSeed(config.base_seed, shard).
+  // Set by the watchdog when this attempt's deadline expires (kThread mode).
+  // Long-running shard bodies should poll it and bail out; bodies that
+  // cannot are only hard-reclaimable under kProcess isolation.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+};
+
+using ShardFn = std::function<ShardResult(const ShardContext&)>;
+
+// How one attempt ended (supervisor input).
+enum class AttemptKind {
+  kClean,         // ShardResult.ok.
+  kFailed,        // ShardResult.ok == false.
+  kCheckFailure,  // Captured RTVIRT_CHECK violation (kThread mode).
+  kCrash,         // Child died on a signal / bad exit (kProcess mode).
+  kTimeout,       // Watchdog deadline expired.
+};
+const char* AttemptKindName(AttemptKind kind);
+
+// Terminal per-shard outcome. kFailed/kTimeout are terminal only when the
+// budget is a single attempt; with retries the terminal failure outcome is
+// kExhausted (the last failure's kind/reason is preserved alongside).
+enum class Outcome { kClean, kFailed, kTimeout, kExhausted };
+const char* OutcomeName(Outcome outcome);
+
+struct ShardOutcome {
+  Outcome outcome = Outcome::kFailed;
+  int attempts = 0;
+  bool recovered = false;        // Clean after at least one failed attempt.
+  AttemptKind last_failure = AttemptKind::kClean;  // kClean = never failed.
+  std::string reason;            // Last failure reason ("" if never failed).
+  std::string report;            // From the successful attempt ("" if none).
+};
+
+struct SweepReport {
+  std::vector<ShardOutcome> shards;  // Indexed by shard id.
+  int clean = 0;       // Terminal kClean (includes recovered).
+  int recovered = 0;
+  int unresolved = 0;  // Terminal kFailed/kTimeout/kExhausted.
+  int retries = 0;     // Dispatches beyond each shard's first attempt.
+  int timeouts = 0;        // Watchdog firings (any attempt).
+  int check_failures = 0;  // Captured RTVIRT_CHECK failures (any attempt).
+  int crashes = 0;         // Hard child deaths (any attempt).
+  bool serial_fallback = false;  // Ran serial (jobs<=1 or no thread spawned).
+  // Threads abandoned to a non-cooperating hung shard body at exit (kThread
+  // mode only; always 0 when hung bodies honor ShardContext::cancel).
+  // Timing-dependent, deliberately excluded from Merged().
+  int leaked_threads = 0;
+
+  bool ok() const { return unresolved == 0; }
+  // Deterministic merged text: per-shard outcome lines in shard index order
+  // followed by aggregate counters. Byte-identical across jobs counts and
+  // completion orders for a deterministic shard function.
+  std::string Merged() const;
+};
+
+struct SweepConfig {
+  int jobs = 1;  // Worker threads; <=1 runs serial in the caller.
+  Isolation isolation = Isolation::kThread;
+  int max_attempts = 3;           // Per-shard attempt budget (>=1).
+  int64_t shard_deadline_ms = 0;  // Watchdog deadline per attempt; 0 = off.
+  int64_t backoff_initial_ms = 10;  // Delay after the first failure...
+  double backoff_factor = 2.0;      // ...growing by this factor per retry...
+  int64_t backoff_cap_ms = 1000;    // ...saturating here.
+  uint64_t base_seed = 1;  // ShardContext::seed = DeriveSeed(base_seed, shard).
+  Clock* clock = nullptr;  // Null = RealClock(). Injected by policy tests.
+};
+
+inline constexpr int64_t kNoWake = std::numeric_limits<int64_t>::max();
+
+// Retry/watchdog/quarantine policy state machine. Not thread-safe: RunSweep
+// guards it with the pool mutex; tests drive it directly with a fake clock.
+class ShardSupervisor {
+ public:
+  ShardSupervisor(const SweepConfig& config, int num_shards);
+
+  // Pops the lowest-indexed shard that is ready to run at `now_ms` (pending,
+  // or waiting with an expired backoff). Returns -1 if none.
+  int NextRunnable(int64_t now_ms);
+  // Earliest backoff expiry among waiting shards, or kNoWake.
+  int64_t NextWakeMs() const;
+  bool AllDone() const;
+
+  struct AttemptTicket {
+    int shard = -1;
+    int attempt = 0;        // 1-based.
+    int64_t deadline_ms = kNoWake;  // Watchdog deadline for this attempt.
+  };
+  // Marks `shard` (previously returned by NextRunnable) running.
+  AttemptTicket BeginAttempt(int shard, int64_t now_ms);
+
+  // Records a finished attempt. Returns false (and changes nothing) if the
+  // attempt is stale — superseded by a watchdog timeout for that shard.
+  bool RecordResult(int shard, int attempt, const ShardResult& result, int64_t now_ms);
+  bool RecordFailure(int shard, int attempt, AttemptKind kind, const std::string& reason,
+                     int64_t now_ms);
+
+  // Running attempts whose deadline has passed at `now_ms`.
+  std::vector<AttemptTicket> ExpiredAttempts(int64_t now_ms) const;
+
+  // Backoff delay scheduled after failure number `failures` (1-based).
+  int64_t BackoffDelayMs(int failures) const;
+
+  // Valid once AllDone(); shard outcomes are final from then on.
+  SweepReport BuildReport() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  enum class State { kPending, kWaiting, kRunning, kTerminal };
+  struct Shard {
+    State state = State::kPending;
+    int attempts = 0;            // Attempts started.
+    int64_t not_before_ms = 0;   // kWaiting: backoff expiry.
+    int64_t deadline_ms = kNoWake;  // kRunning: watchdog deadline.
+    ShardOutcome out;
+  };
+
+  void Terminalize(Shard& s, Outcome outcome);
+  void FailOrRetry(Shard& s, AttemptKind kind, const std::string& reason,
+                   int64_t now_ms);
+
+  SweepConfig config_;
+  std::vector<Shard> shards_;
+  int terminal_ = 0;
+  int retries_ = 0;
+  int timeouts_ = 0;
+  int check_failures_ = 0;
+  int crashes_ = 0;
+};
+
+// Runs `fn` over shards [0, num_shards) under supervision. Blocks until all
+// shards are terminal (clean, or failed with their budget exhausted).
+SweepReport RunSweep(const SweepConfig& config, int num_shards, const ShardFn& fn);
+
+}  // namespace rtvirt::sweep
+
+#endif  // SRC_SWEEP_SWEEP_H_
