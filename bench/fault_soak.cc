@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/control/slo_controller.h"
 #include "src/metrics/resilience.h"
 #include "src/sweep/sweep.h"
 #include "src/workloads/churn.h"
@@ -44,7 +45,12 @@ constexpr int kPcpus = 4;
 
 // Per-seed stream indices for DeriveSeed: the fault plan and the two churn
 // drivers draw from decorrelated engines by construction.
-enum SeedStream : uint64_t { kPlanStream = 0, kHiChurnStream = 1, kLoChurnStream = 2 };
+enum SeedStream : uint64_t {
+  kPlanStream = 0,
+  kHiChurnStream = 1,
+  kLoChurnStream = 2,
+  kSvcStream = 3,
+};
 
 // A random but always-valid plan: per core, an ordered walk of the run
 // leaves every generated window disjoint from its predecessors by
@@ -105,6 +111,7 @@ FaultPlan RandomPlan(uint64_t seed) {
 struct SoakResult {
   ResilienceCounters rc;
   size_t planned_faults = 0;
+  bool svc_quarantined = false;  // Controller tenant quarantined at run end.
   bool ok = false;
   std::string why;
   std::string notes;  // Audit-violation details for a failing seed.
@@ -119,6 +126,15 @@ SoakResult SoakOne(uint64_t seed) {
   cfg.audit.enabled = true;
   cfg.machine.evacuation_penalty = Us(150);
   cfg.faults = RandomPlan(seed);
+  // The SLO controller steers a service VM through the same storm: its
+  // hypercall traffic runs under the full trust boundary while cores fail
+  // and the byzantine VM attacks, and a well-behaved controller must come
+  // out the other side unquarantined.
+  cfg.control.enabled = true;
+  cfg.control.decision_period = Ms(20);
+  cfg.control.min_samples = 16;
+  cfg.control.window.num_slots = 8;
+  cfg.control.window.slot_width = Ms(50);
 
   Experiment exp(cfg);
   GuestConfig gcfg;
@@ -131,6 +147,25 @@ SoakResult SoakOne(uint64_t seed) {
   GuestOs* adv = exp.AddGuest("adv", 2);
   PeriodicRta cover(adv, "cover", RtaParams{Ms(1), Ms(10)});
   cover.Start(0, kRun);
+  // VM 3: the controller-steered service tenant. A seeded open-loop flash
+  // crowd forces the controller to actually adjust mid-storm.
+  GuestOs* svc = exp.AddGuest("svc", 1);
+  Rng svc_rng(DeriveSeed(seed, kSvcStream));
+  MemcachedConfig mc;
+  mc.qps = 1500.0;
+  mc.slo = Ms(1);
+  mc.slice = Us(58);
+  mc.open_loop.enabled = true;
+  mc.open_loop.diurnal_amplitude = 0.2;
+  TimeNs flash_at = svc_rng.UniformTime(Ms(500), kRun - Sec(2));
+  mc.open_loop.phases.push_back({flash_at, flash_at + Sec(1), 3.0});
+  MemcachedServer svc_server(svc, "svc-mc", mc,
+                             Rng(DeriveSeed(seed, kSvcStream) + 1));
+  svc_server.Start(0, kRun);
+  SloController::TenantOptions svc_opts;
+  svc_opts.slo = Ms(1);
+  svc_opts.max_slice = Us(240);
+  exp.controller()->Watch(svc, svc_server.task(), exp.ChannelOf(svc), svc_opts);
 
   ChurnConfig hi_cfg;
   hi_cfg.experiment_len = kRun;
@@ -151,6 +186,7 @@ SoakResult SoakOne(uint64_t seed) {
   SoakResult r;
   r.rc = exp.resilience();
   r.planned_faults = cfg.faults.pcpu_faults.size();
+  r.svc_quarantined = exp.dpwrap()->Quarantined(svc->vm());
   if (exp.auditor() == nullptr || r.rc.audit_checks == 0) {
     r.why = "auditor never ran";
   } else if (r.rc.isolation_violations > 0 || r.rc.audit_violations > 0) {
@@ -172,6 +208,10 @@ SoakResult SoakOne(uint64_t seed) {
   } else if (!cfg.faults.adversarial_guests.empty() &&
              (r.rc.quarantines == 0 || r.rc.quarantine_releases == 0)) {
     r.why = "byzantine VM not quarantined and rehabilitated";
+  } else if (r.rc.control_decisions == 0) {
+    r.why = "SLO controller never decided";
+  } else if (r.svc_quarantined) {
+    r.why = "controller tenant quarantined";
   } else {
     r.ok = true;
   }
@@ -186,6 +226,7 @@ std::string RowFor(uint64_t seed, const SoakResult& r) {
      << r.rc.capacity_replans << '\t' << r.rc.sheds << '\t' << r.rc.resumes << '\t'
      << r.rc.deadline_lie_rejections << '\t' << r.rc.hypercall_rate_rejections << '\t'
      << r.rc.quarantines << '/' << r.rc.quarantine_releases << '\t'
+     << r.rc.control_inc_adjustments << '/' << r.rc.control_dec_adjustments << '\t'
      << r.rc.audit_violations << '/' << r.rc.audit_checks << '\t'
      << (r.ok ? "ok" : r.why);
   if (!r.notes.empty()) {
@@ -270,7 +311,7 @@ int Soak(const Options& opt) {
       });
 
   TablePrinter table({"seed", "faults", "evac", "replans", "sheds", "resumes",
-                      "lie_rej", "rate_rej", "quar", "audit", "result"});
+                      "lie_rej", "rate_rej", "quar", "ctl", "audit", "result"});
   std::string notes;
   int verdict_failures = 0;
   for (int s = 0; s < opt.seeds; ++s) {
@@ -288,7 +329,7 @@ int Soak(const Options& opt) {
     } else {
       // The shard never produced a row: its outcome line below says why.
       table.AddRow({std::to_string(s + 1), "-", "-", "-", "-", "-", "-", "-", "-", "-",
-                    std::string(sweep::OutcomeName(o.outcome))});
+                    "-", std::string(sweep::OutcomeName(o.outcome))});
     }
   }
   table.Print(std::cout);

@@ -1,0 +1,177 @@
+// Streaming sliding-window quantile estimator for the SLO controller.
+//
+// HdrHistogram-style log-linear buckets over a ring of fixed time slots: one
+// Add is an O(1) pair of array increments (current slot + window aggregate),
+// one Quantile is a single O(buckets) scan of the aggregate, and window
+// eviction subtracts a whole expired slot from the aggregate in O(buckets).
+// Every array is sized in the constructor and never grows, so the steady
+// path performs no allocation — the controller runs inside the simulator's
+// zero-alloc steady state (asserted by tests/control_test.cc).
+//
+// Bucket layout (sub = 2^sub_bits sub-buckets per octave): values are first
+// quantized to units of 2^unit_shift ns. A unit value u < sub maps exactly
+// to bucket u; above that, each octave [2^k, 2^(k+1)) splits into `sub`
+// buckets of width 2^(k - sub_bits), giving a bounded relative error of
+// 1/sub. Quantile() returns the *upper* edge of the selected bucket, so the
+// estimate never under-reports a tail latency — conservative in exactly the
+// direction an SLO check needs.
+
+#ifndef SRC_CONTROL_WINDOWED_QUANTILE_H_
+#define SRC_CONTROL_WINDOWED_QUANTILE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rtvirt {
+
+class WindowedQuantile {
+ public:
+  struct Options {
+    // Sliding window = num_slots * slot_width; eviction granularity is one
+    // slot (samples leave the window at most one slot_width late).
+    int num_slots = 8;
+    TimeNs slot_width = Ms(250);
+    // Sub-buckets per octave: relative error <= 1 / 2^sub_bits (~3% at 5).
+    int sub_bits = 5;
+    // Values are quantized to 2^unit_shift ns before bucketing (10 -> ~1 us
+    // units). 0 makes small-value windows exact (unit tests).
+    int unit_shift = 10;
+    // Octaves above the linear range; values beyond saturate into the top
+    // bucket. 22 octaves above ~1 us units covers ~4 s of latency.
+    int max_octaves = 22;
+  };
+
+  explicit WindowedQuantile(const Options& opts)
+      : opts_(opts),
+        sub_(1 << opts.sub_bits),
+        num_buckets_((opts.max_octaves + 1) * (1 << opts.sub_bits)),
+        slots_(static_cast<size_t>(opts.num_slots) * num_buckets_, 0),
+        aggregate_(static_cast<size_t>(num_buckets_), 0),
+        slot_counts_(static_cast<size_t>(opts.num_slots), 0) {}
+
+  // Records one sample at time `now`. O(1); evicts expired slots first.
+  void Add(TimeNs value, TimeNs now) {
+    Roll(now);
+    int b = BucketOf(value);
+    int ring = static_cast<int>(cur_slot_ % opts_.num_slots);
+    ++slots_[static_cast<size_t>(ring) * num_buckets_ + b];
+    ++slot_counts_[ring];
+    ++aggregate_[b];
+    ++count_;
+  }
+
+  // Advances the window without adding a sample (evicts expired slots).
+  void Advance(TimeNs now) { Roll(now); }
+
+  // Folds another estimator's current window into this one's current slot
+  // (cross-tenant aggregation). Requires identical bucket geometry.
+  void Merge(const WindowedQuantile& other) {
+    int ring = static_cast<int>(cur_slot_ % opts_.num_slots);
+    int n = std::min(num_buckets_, other.num_buckets_);
+    for (int b = 0; b < n; ++b) {
+      uint64_t c = other.aggregate_[b];
+      slots_[static_cast<size_t>(ring) * num_buckets_ + b] += c;
+      slot_counts_[ring] += c;
+      aggregate_[b] += c;
+      count_ += c;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+
+  // The q-quantile (0 < q <= 1) of the samples currently in the window,
+  // reported as the upper edge of the owning bucket; 0 on an empty window.
+  TimeNs Quantile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    auto target = static_cast<uint64_t>(
+        static_cast<double>(count_) * std::clamp(q, 0.0, 1.0) + 0.999999);
+    target = std::clamp<uint64_t>(target, 1, count_);
+    uint64_t seen = 0;
+    for (int b = 0; b < num_buckets_; ++b) {
+      seen += aggregate_[b];
+      if (seen >= target) {
+        return UpperEdge(b);
+      }
+    }
+    return UpperEdge(num_buckets_ - 1);
+  }
+
+ private:
+  // value -> bucket index (clamped into [0, num_buckets_)).
+  int BucketOf(TimeNs value) const {
+    uint64_t u = value <= 0 ? 0 : static_cast<uint64_t>(value) >> opts_.unit_shift;
+    int idx;
+    if (u < static_cast<uint64_t>(sub_)) {
+      idx = static_cast<int>(u);  // Linear range: exact.
+    } else {
+      int shift = std::bit_width(u) - opts_.sub_bits - 1;
+      auto mantissa = static_cast<int>(u >> shift);  // In [sub, 2*sub).
+      idx = shift * sub_ + mantissa;
+    }
+    return std::min(idx, num_buckets_ - 1);
+  }
+
+  // Upper edge of bucket b, back in ns. Exact inverse of BucketOf on the
+  // linear range; the +(2^unit_shift - 1) keeps sub-unit remainders covered.
+  TimeNs UpperEdge(int b) const {
+    uint64_t u_hi;
+    int octave = b >> opts_.sub_bits;
+    if (octave == 0) {
+      u_hi = static_cast<uint64_t>(b);
+    } else {
+      int shift = octave - 1;
+      uint64_t mantissa = static_cast<uint64_t>(sub_ + (b & (sub_ - 1)));
+      u_hi = ((mantissa + 1) << shift) - 1;
+    }
+    return static_cast<TimeNs>(((u_hi + 1) << opts_.unit_shift) - 1);
+  }
+
+  // Evicts every slot the window slid past since the last call.
+  void Roll(TimeNs now) {
+    int64_t slot = now / opts_.slot_width;
+    if (slot <= cur_slot_) {
+      return;
+    }
+    int64_t steps = slot - cur_slot_;
+    if (steps >= opts_.num_slots) {
+      std::fill(slots_.begin(), slots_.end(), 0);
+      std::fill(aggregate_.begin(), aggregate_.end(), 0);
+      std::fill(slot_counts_.begin(), slot_counts_.end(), 0);
+      count_ = 0;
+    } else {
+      for (int64_t s = cur_slot_ + 1; s <= slot; ++s) {
+        int ring = static_cast<int>(s % opts_.num_slots);
+        if (slot_counts_[ring] == 0) {
+          continue;
+        }
+        uint64_t* bucket = &slots_[static_cast<size_t>(ring) * num_buckets_];
+        for (int b = 0; b < num_buckets_; ++b) {
+          aggregate_[b] -= bucket[b];
+          bucket[b] = 0;
+        }
+        count_ -= slot_counts_[ring];
+        slot_counts_[ring] = 0;
+      }
+    }
+    cur_slot_ = slot;
+  }
+
+  Options opts_;
+  int sub_;
+  int num_buckets_;
+  std::vector<uint64_t> slots_;       // num_slots x num_buckets, row-major.
+  std::vector<uint64_t> aggregate_;   // Column sums of the live slots.
+  std::vector<uint64_t> slot_counts_; // Samples per ring slot.
+  int64_t cur_slot_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace rtvirt
+
+#endif  // SRC_CONTROL_WINDOWED_QUANTILE_H_

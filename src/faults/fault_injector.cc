@@ -96,6 +96,32 @@ std::string FaultPlan::Validate(int num_pcpus, int num_vms, int num_hosts) const
       }
     }
   }
+  for (size_t i = 0; i < control_faults.size(); ++i) {
+    const ControlFault& f = control_faults[i];
+    if (f.vm_index < 0 || (num_vms >= 0 && f.vm_index >= num_vms)) {
+      return Entry("control_faults", i, "vm index out of range for machine size",
+                   f.vm_index, num_vms);
+    }
+    if (f.at < 0 || f.until <= f.at) {
+      return Entry("control_faults", i, "empty or negative window", f.at, f.until);
+    }
+    if (f.kind == ControlFault::Kind::kStalePage && f.delay <= 0) {
+      return Entry("control_faults", i, "non-positive stale-page delay", f.delay, 0);
+    }
+    // Two windows of the same kind on the same VM must not overlap — the
+    // stale-page restore of an earlier window would otherwise cancel a live
+    // later one, and overlapping outages are almost certainly a plan typo.
+    for (size_t j = 0; j < i; ++j) {
+      const ControlFault& p = control_faults[j];
+      if (p.vm_index != f.vm_index || p.kind != f.kind) {
+        continue;
+      }
+      if (f.at < p.until && p.at < f.until) {
+        return Entry("control_faults", i, "overlaps earlier window on same vm at index",
+                     static_cast<long long>(j), p.at);
+      }
+    }
+  }
   for (size_t i = 0; i < host_faults.size(); ++i) {
     const HostFault& f = host_faults[i];
     if (f.host < 0 || (num_hosts >= 0 && f.host >= num_hosts)) {
@@ -143,15 +169,33 @@ bool FaultInjector::InOutage(TimeNs now) const {
   return false;
 }
 
+bool FaultInjector::InControlOutage(const Vcpu* caller, TimeNs now) const {
+  if (caller == nullptr) {
+    return false;
+  }
+  for (const FaultPlan::ControlFault& f : plan_.control_faults) {
+    if (f.kind == FaultPlan::ControlFault::Kind::kChannelOutage &&
+        caller->vm() == machine_->vm(f.vm_index) && now >= f.at && now < f.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Machine::HypercallFault FaultInjector::OnHypercall(Vcpu* caller, const HypercallArgs& args) {
-  (void)caller, (void)args;
+  (void)args;
   ++stats_.hypercall_attempts;
   Machine::HypercallFault fault;
-  // Outage windows are checked first and draw no randomness: adding or
-  // removing an outage does not shift the RNG stream of the random faults
-  // outside the window.
+  // Outage windows (global and per-VM) are checked first and draw no
+  // randomness: adding or removing an outage does not shift the RNG stream
+  // of the random faults outside the window.
   if (InOutage(machine_->sim()->Now())) {
     ++stats_.outage_failures;
+    fault.action = Machine::HypercallFault::Action::kFail;
+    return fault;
+  }
+  if (InControlOutage(caller, machine_->sim()->Now())) {
+    ++stats_.control_outage_failures;
     fault.action = Machine::HypercallFault::Action::kFail;
     return fault;
   }
@@ -248,6 +292,23 @@ void FaultInjector::Arm() {
   }
   for (size_t i = 0; i < plan_.adversarial_guests.size(); ++i) {
     sim->At(plan_.adversarial_guests[i].start, [this, i] { AdversaryTick(i, 0); });
+  }
+  for (const FaultPlan::ControlFault& f : plan_.control_faults) {
+    if (f.kind != FaultPlan::ControlFault::Kind::kStalePage) {
+      continue;  // kChannelOutage is evaluated per call in OnHypercall.
+    }
+    Vm* vm = machine_->vm(f.vm_index);
+    TimeNs delay = f.delay;
+    sim->At(f.at, [this, vm, delay] {
+      vm->shared_page().SetVisibilityDelay(delay);
+      ++stats_.control_stale_windows;
+    });
+    // Closing the window restores the plan-wide baseline delay, so a global
+    // shared_page_visibility_delay composes with a targeted stale window.
+    TimeNs baseline = plan_.shared_page_visibility_delay;
+    sim->At(f.until, [vm, baseline] {
+      vm->shared_page().SetVisibilityDelay(baseline);
+    });
   }
 }
 

@@ -135,11 +135,34 @@ struct FaultPlan {
   };
   std::vector<HostFault> host_faults;
 
+  // ---- (g) controller-adversary interaction events (SLO controller) ----
+  // Targeted windows stressing the src/control feedback path at its worst
+  // moments: a per-VM channel outage (every hypercall from that VM fails —
+  // e.g. mid flash-crowd, right after the controller raised the tenant's
+  // reservation, forcing the fail-static freeze to hold last-good state) and
+  // a stale-shared-page window (the VM's deadline publications go host-
+  // visible late — e.g. during a DEC, so the host briefly schedules against
+  // deadlines from the pre-shrink reservation). Both are clock-driven and
+  // draw no randomness, so adding them never shifts the random-fault stream.
+  struct ControlFault {
+    enum class Kind {
+      kChannelOutage,  // Every hypercall from vm_index fails over [at, until).
+      kStalePage,      // vm_index's page publications delayed over [at, until).
+    };
+    Kind kind = Kind::kChannelOutage;
+    int vm_index = 0;
+    TimeNs at = 0;
+    TimeNs until = 0;
+    TimeNs delay = Us(200);  // kStalePage only: added visibility delay.
+  };
+  std::vector<ControlFault> control_faults;
+
   bool active() const {
     return hypercall_fail_prob > 0 || hypercall_drop_prob > 0 ||
            hypercall_spike_prob > 0 || !hypercall_outages.empty() ||
            shared_page_visibility_delay > 0 || !vm_failures.empty() ||
-           !pcpu_faults.empty() || !adversarial_guests.empty();
+           !pcpu_faults.empty() || !adversarial_guests.empty() ||
+           !control_faults.empty();
   }
 
   // Structural validation, run by the FaultInjector constructor (which
@@ -174,6 +197,9 @@ struct FaultStats {
   uint64_t deadline_lies = 0;   // Hostile shared-page publications.
   uint64_t storm_calls = 0;     // Hypercall-storm calls issued.
   uint64_t thrash_calls = 0;    // Bandwidth-thrash calls issued.
+  // Controller-adversary events (ControlFault).
+  uint64_t control_outage_failures = 0;  // Calls failed in a per-VM outage.
+  uint64_t control_stale_windows = 0;    // Stale-page windows opened.
 
   uint64_t TotalHypercallFaults() const {
     return injected_failures + injected_drops + outage_failures;
@@ -207,6 +233,8 @@ class FaultInjector {
  private:
   Machine::HypercallFault OnHypercall(Vcpu* caller, const HypercallArgs& args);
   bool InOutage(TimeNs now) const;
+  // True when `caller`'s VM sits inside a kChannelOutage window.
+  bool InControlOutage(const Vcpu* caller, TimeNs now) const;
   // One event of adversarial campaign `idx`; `step` drives the deterministic
   // alternation (lie flavors, thrash direction) without touching the RNG.
   void AdversaryTick(size_t idx, uint64_t step);

@@ -478,7 +478,7 @@ int GuestOs::SchedUnregisterGlobal(Task* task) {
   return kGuestOk;
 }
 
-int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
+int GuestOs::SchedSetAttr(Task* task, const RtaParams& params, int64_t bw_reason) {
   if (!task->is_rta() || params.period <= 0 || params.slice <= 0 ||
       params.slice > params.period) {
     return kGuestErrInvalid;
@@ -560,8 +560,7 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
       }
     }
     if (nbw > obw) {
-      int64_t rc = cross_layer_->RequestBandwidth(cur.vcpu, in_place, new_period,
-                                                  kBwReasonAdmission);
+      int64_t rc = cross_layer_->RequestBandwidth(cur.vcpu, in_place, new_period, bw_reason);
       if (rc != kHypercallOk) {
         return kGuestErrBusy;
       }
@@ -572,7 +571,7 @@ int GuestOs::SchedSetAttr(Task* task, const RtaParams& params) {
       task->params_ = params;
       task->compressed_slice_ = 0;
       RecomputeVcpu(cur);
-      cross_layer_->ReleaseBandwidth(cur.vcpu, cur.reserved, cur.min_period);
+      cross_layer_->ReleaseBandwidth(cur.vcpu, cur.reserved, cur.min_period, bw_reason);
     }
     PublishDeadline(cur);
     Redispatch(cur);

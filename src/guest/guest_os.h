@@ -114,7 +114,12 @@ class GuestOs : public VcpuClient {
 
   // sched_setattr(): registers `task` as an RTA or changes its parameters.
   // Returns kGuestOk or kGuestErrBusy if admission fails at either level.
-  int SchedSetAttr(Task* task, const RtaParams& params);
+  // `bw_reason` is the kBwReason* code carried by the resulting hypercall for
+  // an in-place parameter change of a registered RTA (the SLO controller
+  // passes kBwReasonSloControl so its raises are watermark-limited and never
+  // read as fresh overload); registration always uses kBwReasonAdmission.
+  int SchedSetAttr(Task* task, const RtaParams& params,
+                   int64_t bw_reason = kBwReasonAdmission);
   // RTA unregisters (terminates or becomes non-time-sensitive).
   int SchedUnregister(Task* task);
 

@@ -38,10 +38,16 @@ enum class SchedOp {
 //     (re-inflating a compressed reservation or resuming a shed task). A
 //     rejection of these must NOT read as fresh overload, or recovery probes
 //     and the pressure signal would chase each other in a loop.
+//   kBwReasonSloControl — an INC_BW/DEC_BW issued by the closed-loop SLO
+//     controller (src/control) tracking a tenant's tail latency. Handled like
+//     kBwReasonReinflate: admitted only up to the high watermark and never
+//     counted as fresh overload pressure, so a controller probing for
+//     headroom cannot trigger the compress/shed ladder it would then fight.
 constexpr int64_t kBwReasonNone = 0;
 constexpr int64_t kBwReasonOverloadShed = 1;
 constexpr int64_t kBwReasonAdmission = 2;
 constexpr int64_t kBwReasonReinflate = 3;
+constexpr int64_t kBwReasonSloControl = 4;
 
 struct HypercallArgs {
   SchedOp op = SchedOp::kIncBw;

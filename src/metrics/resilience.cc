@@ -80,6 +80,39 @@ void PrintResilience(std::ostream& out, const ResilienceCounters& c) {
     row("audit", "checks_run", c.audit_checks);
     row("audit", "violations", c.audit_violations);
   }
+  // SLO-controller section: appears only when a controller was armed (it
+  // counts samples/decisions as soon as it runs) or controller-adversary
+  // faults were injected, so default-path reports stay byte-identical even
+  // with the subsystem compiled in.
+  uint64_t control_any = c.control_samples + c.control_decisions +
+                         c.control_inc_adjustments + c.control_dec_adjustments +
+                         c.control_hysteresis_holds + c.control_demand_floor_holds +
+                         c.control_pressure_holds +
+                         c.control_ladder_holds + c.control_rate_limit_holds +
+                         c.control_windup_clamps + c.control_actuation_failures +
+                         c.control_saturation_events + c.control_freezes +
+                         c.control_reengage_probes + c.control_outage_failures +
+                         c.control_stale_windows;
+  if (control_any > 0) {
+    row("control", "samples", c.control_samples);
+    row("control", "decisions", c.control_decisions);
+    row("control", "inc_adjustments", c.control_inc_adjustments);
+    row("control", "dec_adjustments", c.control_dec_adjustments);
+    row("control", "hysteresis_holds", c.control_hysteresis_holds);
+    row("control", "demand_floor_holds", c.control_demand_floor_holds);
+    row("control", "pressure_holds", c.control_pressure_holds);
+    row("control", "ladder_holds", c.control_ladder_holds);
+    row("control", "rate_limit_holds", c.control_rate_limit_holds);
+    row("control", "windup_clamps", c.control_windup_clamps);
+    row("control", "actuation_failures", c.control_actuation_failures);
+    row("control", "saturation_events", c.control_saturation_events);
+    row("control", "saturations_resolved", c.control_saturations_resolved);
+    row("control", "freezes", c.control_freezes);
+    row("control", "reengage_probes", c.control_reengage_probes);
+    row("control", "reengages", c.control_reengages);
+    row("control", "injected_outage_failures", c.control_outage_failures);
+    row("control", "injected_stale_windows", c.control_stale_windows);
+  }
   // Cluster federation section: only multi-host runs with host faults or
   // admissions fire these, so single-host reports stay byte-identical.
   uint64_t cluster_any = c.TotalHostFaultEvents() + c.cluster_vms_admitted +
@@ -169,6 +202,24 @@ void AccumulateResilience(ResilienceCounters& into, const ResilienceCounters& fr
   into.isolation_violations += from.isolation_violations;
   into.audit_checks += from.audit_checks;
   into.audit_violations += from.audit_violations;
+  into.control_samples += from.control_samples;
+  into.control_decisions += from.control_decisions;
+  into.control_inc_adjustments += from.control_inc_adjustments;
+  into.control_dec_adjustments += from.control_dec_adjustments;
+  into.control_hysteresis_holds += from.control_hysteresis_holds;
+  into.control_demand_floor_holds += from.control_demand_floor_holds;
+  into.control_pressure_holds += from.control_pressure_holds;
+  into.control_ladder_holds += from.control_ladder_holds;
+  into.control_rate_limit_holds += from.control_rate_limit_holds;
+  into.control_windup_clamps += from.control_windup_clamps;
+  into.control_actuation_failures += from.control_actuation_failures;
+  into.control_saturation_events += from.control_saturation_events;
+  into.control_saturations_resolved += from.control_saturations_resolved;
+  into.control_freezes += from.control_freezes;
+  into.control_reengage_probes += from.control_reengage_probes;
+  into.control_reengages += from.control_reengages;
+  into.control_outage_failures += from.control_outage_failures;
+  into.control_stale_windows += from.control_stale_windows;
   into.host_crashes += from.host_crashes;
   into.host_outages += from.host_outages;
   into.host_degrades += from.host_degrades;

@@ -79,6 +79,31 @@ struct ResilienceCounters {
   uint64_t audit_checks = 0;
   uint64_t audit_violations = 0;
 
+  // Closed-loop SLO controller (src/control): decision/adjustment traffic and
+  // every defensive hold (hysteresis, pressure, ladder, rate limit,
+  // anti-windup), plus saturation handoffs and fail-static freeze/re-engage
+  // cycles. The injected pair counts controller-adversary fault events
+  // (FaultPlan::ControlFault). All-zero — and unprinted — when no controller
+  // was armed.
+  uint64_t control_samples = 0;
+  uint64_t control_decisions = 0;
+  uint64_t control_inc_adjustments = 0;
+  uint64_t control_dec_adjustments = 0;
+  uint64_t control_hysteresis_holds = 0;
+  uint64_t control_demand_floor_holds = 0;
+  uint64_t control_pressure_holds = 0;
+  uint64_t control_ladder_holds = 0;
+  uint64_t control_rate_limit_holds = 0;
+  uint64_t control_windup_clamps = 0;
+  uint64_t control_actuation_failures = 0;
+  uint64_t control_saturation_events = 0;
+  uint64_t control_saturations_resolved = 0;
+  uint64_t control_freezes = 0;
+  uint64_t control_reengage_probes = 0;
+  uint64_t control_reengages = 0;
+  uint64_t control_outage_failures = 0;  // Injected controller-path outages.
+  uint64_t control_stale_windows = 0;    // Injected stale-shared-page windows.
+
   // Cluster federation (multi-host): host-level fault events, failure-driven
   // evacuation, and the migration retry/backoff/degradation machinery.
   // Filled by the Federation (src/cluster/federation.h), summed over all

@@ -765,12 +765,14 @@ int64_t DpWrapScheduler::ApplyReservation(Vcpu* vcpu, Bandwidth bw, TimeNs perio
         it == reservations_.end() ? Bandwidth::Zero() : it->second.EffectiveBw();
     Bandwidth admitted_total = total_effective() - old_eff + bw;
     Bandwidth limit = capacity_ + Bandwidth::FromPpb(config_.admission_epsilon_ppb);
-    if (config_.overload.enabled && reason == kBwReasonReinflate) {
-      // Re-inflation is only admitted up to the high watermark; new demand
-      // may use the full capacity. Guests gate on the published headroom,
-      // but two guests polling in the same scan window can both claim the
-      // same advertised room — enforcing the watermark here turns that race
-      // into a clean rejection instead of a watermark-pressure/shed cycle.
+    if (config_.overload.enabled &&
+        (reason == kBwReasonReinflate || reason == kBwReasonSloControl)) {
+      // Re-inflation and SLO-controller raises are only admitted up to the
+      // high watermark; new demand may use the full capacity. Guests gate on
+      // the published headroom, but two guests polling in the same scan
+      // window can both claim the same advertised room — enforcing the
+      // watermark here turns that race into a clean rejection instead of a
+      // watermark-pressure/shed cycle.
       limit = std::min(limit, Bandwidth::FromPpb(static_cast<int64_t>(
                                   config_.overload.high_watermark *
                                   static_cast<double>(capacity_.ppb()))));

@@ -72,6 +72,9 @@ Experiment::Experiment(ExperimentConfig config)
   if (config_.audit.enabled) {
     auditor_ = std::make_unique<InvariantAuditor>(machine_.get(), dpwrap_, config_.audit);
   }
+  if (config_.control.enabled) {
+    controller_ = std::make_unique<SloController>(&sim_, config_.control);
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -142,6 +145,8 @@ ResilienceCounters Experiment::resilience() const {
     c.adversarial_deadline_lies = f.deadline_lies;
     c.adversarial_storm_calls = f.storm_calls;
     c.adversarial_thrash_calls = f.thrash_calls;
+    c.control_outage_failures = f.control_outage_failures;
+    c.control_stale_windows = f.control_stale_windows;
   }
   c.pcpu_evacuations = machine_->pcpu_evacuations();
   if (auditor_ != nullptr) {
@@ -178,6 +183,25 @@ ResilienceCounters Experiment::resilience() const {
     c.quarantines = dpwrap_->quarantines();
     c.quarantine_releases = dpwrap_->quarantine_releases();
     c.quarantine_holds = dpwrap_->quarantine_holds();
+  }
+  if (controller_ != nullptr) {
+    const ControlStats& s = controller_->stats();
+    c.control_samples = s.samples;
+    c.control_decisions = s.decisions;
+    c.control_inc_adjustments = s.inc_adjustments;
+    c.control_dec_adjustments = s.dec_adjustments;
+    c.control_hysteresis_holds = s.hysteresis_holds;
+    c.control_demand_floor_holds = s.demand_floor_holds;
+    c.control_pressure_holds = s.pressure_holds;
+    c.control_ladder_holds = s.ladder_holds;
+    c.control_rate_limit_holds = s.rate_limit_holds;
+    c.control_windup_clamps = s.windup_clamps;
+    c.control_actuation_failures = s.actuation_failures;
+    c.control_saturation_events = s.saturation_events;
+    c.control_saturations_resolved = s.saturations_resolved;
+    c.control_freezes = s.freezes;
+    c.control_reengage_probes = s.reengage_probes;
+    c.control_reengages = s.reengages;
   }
   for (const auto& g : guests_) {
     const GuestOverloadStats& s = g->overload_stats();
@@ -218,6 +242,9 @@ void Experiment::Run(TimeNs until) {
     }
     if (auditor_ != nullptr) {
       auditor_->Arm();
+    }
+    if (controller_ != nullptr) {
+      controller_->Arm();
     }
     machine_->Start();
     started_ = true;

@@ -13,6 +13,7 @@
 #include "src/baselines/credit.h"
 #include "src/common/rng.h"
 #include "src/baselines/server_edf.h"
+#include "src/control/slo_controller.h"
 #include "src/faults/fault_injector.h"
 #include "src/guest/guest_os.h"
 #include "src/hv/machine.h"
@@ -52,6 +53,11 @@ struct ExperimentConfig {
   // Cross-layer invariant auditor; disabled by default (no auditor object is
   // even created, and no events are scheduled).
   AuditorConfig audit;
+  // Closed-loop SLO controller (src/control); disabled by default (no
+  // controller object is created and no events are scheduled, so default-path
+  // reports stay byte-identical). Tenants are attached via
+  // controller()->Watch(...); the decision tick is armed on first Run().
+  ControlConfig control;
   // Print the allocation section (warm-up vs steady-state operator-new
   // counts, peak RSS) in the standard report. Off by default so existing
   // reports stay byte-identical; the RTVIRT_REPORT_ALLOC environment
@@ -104,6 +110,8 @@ class Experiment {
   FaultInjector* fault_injector() const { return injector_.get(); }
   // Invariant auditor: null unless config.audit.enabled (armed on Run()).
   InvariantAuditor* auditor() const { return auditor_.get(); }
+  // SLO controller: null unless config.control.enabled (armed on Run()).
+  SloController* controller() const { return controller_.get(); }
   // The cross-layer channel of `guest` (null unless framework is RTVirt).
   RtvirtGuestChannel* ChannelOf(const GuestOs* guest) const;
   // Aggregates injector, per-guest channel, host watchdog/capacity, and
@@ -124,6 +132,7 @@ class Experiment {
   std::vector<RtvirtGuestChannel*> channels_;  // Parallel to guests_ (may hold nulls).
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<InvariantAuditor> auditor_;
+  std::unique_ptr<SloController> controller_;
   Rng rng_;
   bool started_ = false;
   // Allocation attribution: everything up to the end of the first Run() call

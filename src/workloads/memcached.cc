@@ -1,6 +1,7 @@
 #include "src/workloads/memcached.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace rtvirt {
@@ -40,6 +41,24 @@ TimeNs MemcachedServer::SampleService() {
   return std::clamp(static_cast<TimeNs>(s), config_.service_min, config_.service_max);
 }
 
+double MemcachedServer::RateAt(TimeNs now) const {
+  const MemcachedConfig::OpenLoop& ol = config_.open_loop;
+  double rate = config_.qps;
+  if (ol.diurnal_amplitude > 0.0 && ol.diurnal_period > 0) {
+    // Starts at the trough so a run that begins "overnight" ramps into its
+    // peak instead of opening on one.
+    double phase = 2.0 * M_PI * static_cast<double>(now % ol.diurnal_period) /
+                   static_cast<double>(ol.diurnal_period);
+    rate *= 1.0 - ol.diurnal_amplitude * std::cos(phase);
+  }
+  for (const MemcachedConfig::OpenLoop::Phase& p : ol.phases) {
+    if (now >= p.start && now < p.end) {
+      rate *= p.multiplier;
+    }
+  }
+  return rate;
+}
+
 void MemcachedServer::ClientSend() {
   Simulator* sim = guest_->vm()->machine()->sim();
   TimeNs now = sim->Now();
@@ -51,10 +70,19 @@ void MemcachedServer::ClientSend() {
   // measured NIC-to-NIC window); the job's deadline is the SLO.
   guest_->ReleaseJob(task_, SampleService(), now + config_.slo);
 
-  double mean_gap = kNsPerSec / config_.qps;
-  double gap = rng_.NormalAtLeast(mean_gap, mean_gap * config_.interarrival_sigma_frac,
-                                  mean_gap * 0.05);
-  sim->After(static_cast<TimeNs>(gap), [this] { ClientSend(); });
+  TimeNs gap;
+  if (config_.open_loop.enabled) {
+    // Open loop: Poisson arrivals at the traced instantaneous rate, never
+    // modulated by server progress. Floor of 1 ns keeps the event strictly
+    // in the future even at flash-crowd peaks.
+    double mean_gap = kNsPerSec / RateAt(now);
+    gap = std::max<TimeNs>(1, static_cast<TimeNs>(rng_.Exponential(mean_gap)));
+  } else {
+    double mean_gap = kNsPerSec / config_.qps;
+    gap = static_cast<TimeNs>(rng_.NormalAtLeast(
+        mean_gap, mean_gap * config_.interarrival_sigma_frac, mean_gap * 0.05));
+  }
+  sim->After(gap, [this] { ClientSend(); });
 }
 
 }  // namespace rtvirt

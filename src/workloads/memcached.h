@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/guest/guest_os.h"
@@ -35,6 +36,31 @@ struct MemcachedConfig {
   TimeNs slo = Us(500);
   // RTA slice (the per-framework reservation; Table 4 derivation).
   TimeNs slice = Us(58);
+
+  // Open-loop trace-driven arrivals (SLO-controller evaluation). When
+  // enabled, the client issues Poisson arrivals whose instantaneous rate is
+  // qps scaled by a diurnal sinusoid and any flash-crowd phase covering the
+  // current time — requests keep arriving at the traced rate regardless of
+  // how far the server has fallen behind, so an under-reserved tenant
+  // builds a real queue instead of silently back-pressuring the client.
+  // Default off: the classic closed-ish NormalAtLeast arrival stream (and
+  // every existing bench output) is untouched.
+  struct OpenLoop {
+    bool enabled = false;
+    // Rate multiplier swings between (1 - amplitude) and (1 + amplitude)
+    // over one diurnal_period, starting at the trough.
+    double diurnal_amplitude = 0.0;
+    TimeNs diurnal_period = Sec(20);
+    // Flash-crowd phases: rate is further multiplied by `multiplier` while
+    // now is in [start, end). Overlapping phases compound.
+    struct Phase {
+      TimeNs start = 0;
+      TimeNs end = 0;
+      double multiplier = 1.0;
+    };
+    std::vector<Phase> phases;
+  };
+  OpenLoop open_loop;
 };
 
 class MemcachedServer {
@@ -52,6 +78,9 @@ class MemcachedServer {
   void Register();
   void ClientSend();
   TimeNs SampleService();
+  // Instantaneous open-loop request rate at `now` (qps when open_loop is
+  // off): base qps x diurnal sinusoid x the product of covering phases.
+  double RateAt(TimeNs now) const;
 
   GuestOs* guest_;
   Task* task_;
