@@ -260,6 +260,7 @@ void Federation::ApplyHostEvent(const HostEvent& e) {
       break;
     case HostEvent::Kind::kThrottle:
       h.state = HostState::kDegraded;
+      h.factor = e.factor;
       ++counters_.host_degrades;
       SetHostSpeed(e.host, e.factor);
       if (ft) {
@@ -268,6 +269,7 @@ void Federation::ApplyHostEvent(const HostEvent& e) {
       break;
     case HostEvent::Kind::kHeal:
       h.state = HostState::kHealthy;
+      h.factor = 1.0;
       ++counters_.host_heals;
       SetHostSpeed(e.host, 1.0);
       if (ft) {
@@ -392,6 +394,197 @@ ResilienceCounters Federation::resilience() const {
 
 void Federation::PrintReport(std::ostream& out, const std::string& title) const {
   PrintExperimentReport(out, title, resilience());
+}
+
+namespace {
+
+// The cluster slice of ResilienceCounters, in declaration order.
+void SaveClusterCounters(ckpt::Writer& w, const ResilienceCounters& c) {
+  w.U64(c.host_crashes);
+  w.U64(c.host_outages);
+  w.U64(c.host_degrades);
+  w.U64(c.host_heals);
+  w.U64(c.cluster_vms_admitted);
+  w.U64(c.cluster_vms_rejected);
+  w.U64(c.evacuations);
+  w.U64(c.migration_attempts);
+  w.U64(c.migration_retries);
+  w.U64(c.migration_rebalances);
+  w.U64(c.rebalance_moves);
+  w.U64(c.migration_aborts);
+  w.U64(c.migration_successes);
+  w.U64(c.degraded_placements);
+  w.U64(c.evacuations_unresolved);
+  w.I64(c.vm_unavailable_ns);
+}
+
+void RestoreClusterCounters(ckpt::Reader& r, ResilienceCounters* c) {
+  c->host_crashes = r.U64();
+  c->host_outages = r.U64();
+  c->host_degrades = r.U64();
+  c->host_heals = r.U64();
+  c->cluster_vms_admitted = r.U64();
+  c->cluster_vms_rejected = r.U64();
+  c->evacuations = r.U64();
+  c->migration_attempts = r.U64();
+  c->migration_retries = r.U64();
+  c->migration_rebalances = r.U64();
+  c->rebalance_moves = r.U64();
+  c->migration_aborts = r.U64();
+  c->migration_successes = r.U64();
+  c->degraded_placements = r.U64();
+  c->evacuations_unresolved = r.U64();
+  c->vm_unavailable_ns = r.I64();
+}
+
+}  // namespace
+
+std::string Federation::SaveCheckpoint(ckpt::Image* out) const {
+  if (!pendings_.empty()) {
+    return "federation: checkpoint requires no in-flight migrations (" +
+           std::to_string(pendings_.size()) + " pending)";
+  }
+  for (const ClusterVm& vm : vms_) {
+    // A landed move changed a host's guest census, which a rebuilt
+    // federation (same AdmitVm sequence) cannot reproduce; a dark VM would
+    // additionally leave the placer's bookings unreconstructable.
+    if (vm.generation != 0 || vm.lost || vm.host < 0 || vm.guest == nullptr) {
+      return "federation: checkpoint after a VM move is unsupported (vm '" + vm.spec.name +
+             "': generation " + std::to_string(vm.generation) +
+             (vm.lost ? ", lost" : vm.host < 0 ? ", dark" : "") + ")";
+    }
+  }
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].exp->sim().Now() != now_) {
+      return "federation: host " + std::to_string(i) +
+             " is not at the lock-step barrier (host t=" +
+             std::to_string(hosts_[i].exp->sim().Now()) + "ns, federation t=" +
+             std::to_string(now_) + "ns)";
+    }
+  }
+  out->sections.clear();
+  {
+    ckpt::Writer w;
+    w.I64(now_);
+    w.U64(cursor_);
+    w.U64(seq_);
+    w.U32(static_cast<uint32_t>(hosts_.size()));
+    for (const Host& h : hosts_) {
+      w.U32(static_cast<uint32_t>(h.state));
+      w.F64(h.factor);
+    }
+    w.U32(static_cast<uint32_t>(vms_.size()));
+    for (const ClusterVm& vm : vms_) {
+      w.Str(vm.spec.name);
+      w.I64(vm.host);
+      w.Bool(vm.degraded);
+    }
+    SaveClusterCounters(w, counters_);
+    out->sections.push_back({"federation", w.Take()});
+  }
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    ckpt::Image host_image;
+    std::string err = hosts_[i].exp->SaveCheckpoint(&host_image);
+    if (!err.empty()) {
+      return "federation: host " + std::to_string(i) + ": " + err;
+    }
+    out->sections.push_back({"host." + std::to_string(i), host_image.Serialize()});
+  }
+  return "";
+}
+
+std::string Federation::RestoreCheckpoint(const ckpt::Image& image) {
+  if (image.sections.size() != hosts_.size() + 1) {
+    return "federation: component count mismatch (image has " +
+           std::to_string(image.sections.size()) + " sections, this federation expects " +
+           std::to_string(hosts_.size() + 1) + ")";
+  }
+  const ckpt::Section* fed = image.Find("federation");
+  if (fed == nullptr) {
+    return "federation: missing section 'federation'";
+  }
+  ckpt::Reader r(fed->bytes);
+  TimeNs saved_now = r.I64();
+  uint64_t saved_cursor = r.U64();
+  uint64_t saved_seq = r.U64();
+  uint32_t n_hosts = r.U32();
+  if (!r.ok() || n_hosts != hosts_.size()) {
+    return "federation: host count mismatch (image has " + std::to_string(n_hosts) +
+           ", this federation has " + std::to_string(hosts_.size()) + ")";
+  }
+  std::vector<HostState> states(hosts_.size());
+  std::vector<double> factors(hosts_.size());
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    uint32_t s = r.U32();
+    if (s > static_cast<uint32_t>(HostState::kCrashed)) {
+      return "federation: host[" + std::to_string(i) + "] has invalid state " +
+             std::to_string(s);
+    }
+    states[i] = static_cast<HostState>(s);
+    factors[i] = r.F64();
+  }
+  uint32_t n_vms = r.U32();
+  if (!r.ok() || n_vms != vms_.size()) {
+    return "federation: VM count mismatch (image has " + std::to_string(n_vms) +
+           ", this federation admitted " + std::to_string(vms_.size()) + ")";
+  }
+  std::vector<bool> degraded(vms_.size());
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    std::string name = r.Str();
+    TimeNs host = r.I64();
+    degraded[i] = r.Bool();
+    if (!r.ok()) {
+      return "federation: truncated section 'federation' at vm " + std::to_string(i);
+    }
+    if (name != vms_[i].spec.name) {
+      return "federation: vm[" + std::to_string(i) + "] name mismatch (image '" + name +
+             "', this federation '" + vms_[i].spec.name +
+             "') — AdmitVm order diverged from the saving build";
+    }
+    if (host != vms_[i].host) {
+      return "federation: vm '" + name + "' placement mismatch (image host " +
+             std::to_string(host) + ", rebuilt host " + std::to_string(vms_[i].host) + ")";
+    }
+  }
+  RestoreClusterCounters(r, &counters_);
+  if (!r.ok() || !r.AtEnd()) {
+    return "federation: malformed section 'federation'";
+  }
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    const std::string name = "host." + std::to_string(i);
+    const ckpt::Section* section = image.Find(name);
+    if (section == nullptr) {
+      return "federation: missing section '" + name + "'";
+    }
+    ckpt::Image host_image;
+    std::string err = ckpt::Image::Parse(section->bytes, &host_image);
+    if (!err.empty()) {
+      return "federation: host " + std::to_string(i) + ": " + err;
+    }
+    err = hosts_[i].exp->RestoreCheckpoint(host_image);
+    if (!err.empty()) {
+      return "federation: host " + std::to_string(i) + ": " + err;
+    }
+  }
+  now_ = saved_now;
+  cursor_ = saved_cursor;
+  seq_ = saved_seq;
+  const bool ft = config_.fault_tolerance.enabled;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    hosts_[i].state = states[i];
+    hosts_[i].factor = factors[i];
+    // The machines restored their own PCPU online/speed state; only the
+    // placer's availability/capacity view needs re-seeding here.
+    if (ft) {
+      bool online = states[i] == HostState::kHealthy || states[i] == HostState::kDegraded;
+      placer_.SetHostAvailable(static_cast<int>(i), online);
+      placer_.SetHostCapacityFactor(static_cast<int>(i), factors[i]);
+    }
+  }
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    vms_[i].degraded = degraded[i];
+  }
+  return "";
 }
 
 }  // namespace rtvirt

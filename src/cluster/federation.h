@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/cluster/placement.h"
 #include "src/metrics/resilience.h"
 #include "src/runner/experiment.h"
@@ -157,10 +158,28 @@ class Federation {
   ResilienceCounters resilience() const;
   void PrintReport(std::ostream& out, const std::string& title) const;
 
+  // ---- Checkpoint / restore (DESIGN.md §10) ----
+  // Snapshots the whole federation at the lock-step barrier: one nested
+  // per-host image ("host.<i>") per Experiment plus a "federation" section
+  // (clock, host states, VM table, fault cursor, cluster counters). Only
+  // callable between Run() calls (every host at now_), with no in-flight
+  // migrations and no VM that has ever landed a move — those change the
+  // per-host guest census, which a rebuilt federation cannot reproduce.
+  // Returns "" on success, else a loud error naming the blocker.
+  std::string SaveCheckpoint(ckpt::Image* out) const;
+
+  // Restores onto a freshly built federation (same config, same AdmitVm
+  // sequence, never Run). Re-applies host availability/capacity to the
+  // placer from the restored host states. Never partially applies silently.
+  std::string RestoreCheckpoint(const ckpt::Image& image);
+
  private:
   struct Host {
     std::unique_ptr<Experiment> exp;
     HostState state = HostState::kHealthy;
+    // Last applied capacity factor (kThrottle edge); checkpointed so a
+    // restore can re-seed the placer's capacity bookkeeping.
+    double factor = 1.0;
   };
 
   struct ClusterVm {

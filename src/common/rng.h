@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 #include "src/common/time.h"
 
@@ -70,6 +72,30 @@ class Rng {
 
   // Derive an independent stream (for per-VM / per-client generators).
   Rng Fork() { return Rng(engine_()); }
+
+  // Checkpoint accessors: the engine state is the Rng's only state (every
+  // distribution above is constructed per call), so a textual dump of the
+  // mt19937_64 state round-trips the generator exactly.
+  std::string SaveState() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+  // Returns true iff `state` parses as a complete engine state.
+  bool RestoreState(const std::string& state) {
+    std::istringstream in(state);
+    std::mt19937_64 engine;
+    in >> engine;
+    if (in.fail()) {
+      return false;
+    }
+    engine_ = engine;
+    return true;
+  }
+
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.engine_ == b.engine_;
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -236,80 +236,93 @@ void FaultInjector::Arm() {
     }
   }
   Simulator* sim = machine_->sim();
-  for (const FaultPlan::VmFailure& f : plan_.vm_failures) {
-    Vm* vm = machine_->vm(f.vm_index);
-    sim->At(f.crash_at, [this, vm] {
-      machine_->CrashVm(vm);
-      ++stats_.vm_crashes;
-      for (const VmHandler& h : crash_handlers_) {
-        h(vm);
-      }
-    });
+  for (size_t i = 0; i < plan_.vm_failures.size(); ++i) {
+    const FaultPlan::VmFailure& f = plan_.vm_failures[i];
+    sim->At(f.crash_at, Tag(kEvVmCrash, i), [this, i] { FireVmCrash(i); });
     if (f.restart_at < kTimeNever) {
-      sim->At(f.restart_at, [this, vm] {
-        machine_->RestartVm(vm);
-        ++stats_.vm_restarts;
-        for (const VmHandler& h : restart_handlers_) {
-          h(vm);
-        }
-      });
+      sim->At(f.restart_at, Tag(kEvVmRestart, i), [this, i] { FireVmRestart(i); });
     }
   }
-  for (const FaultPlan::PcpuFault& f : plan_.pcpu_faults) {
-    int id = f.pcpu;  // Validated against the machine in the constructor.
-    switch (f.kind) {
-      case FaultPlan::PcpuFault::Kind::kPermanentFailure:
-        sim->At(f.at, [this, id] {
-          machine_->SetPcpuOnline(id, false);
-          ++stats_.pcpu_offline_events;
-        });
-        break;
-      case FaultPlan::PcpuFault::Kind::kTransientOffline:
-        sim->At(f.at, [this, id] {
-          machine_->SetPcpuOnline(id, false);
-          ++stats_.pcpu_offline_events;
-        });
-        sim->At(f.until, [this, id] {
-          machine_->SetPcpuOnline(id, true);
-          ++stats_.pcpu_online_events;
-        });
-        break;
-      case FaultPlan::PcpuFault::Kind::kDegrade: {
-        double speed = f.speed;
-        sim->At(f.at, [this, id, speed] {
-          machine_->SetPcpuSpeed(id, speed);
-          ++stats_.pcpu_degrade_events;
-        });
-        if (f.until < kTimeNever) {
-          sim->At(f.until, [this, id] {
-            machine_->SetPcpuSpeed(id, 1.0);
-            ++stats_.pcpu_heal_events;
-          });
-        }
-        break;
-      }
+  for (size_t i = 0; i < plan_.pcpu_faults.size(); ++i) {
+    const FaultPlan::PcpuFault& f = plan_.pcpu_faults[i];
+    sim->At(f.at, Tag(kEvPcpuFaultStart, i), [this, i] { FirePcpuFaultStart(i); });
+    bool has_end = f.kind == FaultPlan::PcpuFault::Kind::kTransientOffline ||
+                   (f.kind == FaultPlan::PcpuFault::Kind::kDegrade && f.until < kTimeNever);
+    if (has_end) {
+      sim->At(f.until, Tag(kEvPcpuFaultEnd, i), [this, i] { FirePcpuFaultEnd(i); });
     }
   }
   for (size_t i = 0; i < plan_.adversarial_guests.size(); ++i) {
-    sim->At(plan_.adversarial_guests[i].start, [this, i] { AdversaryTick(i, 0); });
+    sim->At(plan_.adversarial_guests[i].start,
+            Tag(kEvAdversaryTick, static_cast<uint64_t>(i) << 32),
+            [this, i] { AdversaryTick(i, 0); });
   }
-  for (const FaultPlan::ControlFault& f : plan_.control_faults) {
+  for (size_t i = 0; i < plan_.control_faults.size(); ++i) {
+    const FaultPlan::ControlFault& f = plan_.control_faults[i];
     if (f.kind != FaultPlan::ControlFault::Kind::kStalePage) {
       continue;  // kChannelOutage is evaluated per call in OnHypercall.
     }
-    Vm* vm = machine_->vm(f.vm_index);
-    TimeNs delay = f.delay;
-    sim->At(f.at, [this, vm, delay] {
-      vm->shared_page().SetVisibilityDelay(delay);
-      ++stats_.control_stale_windows;
-    });
-    // Closing the window restores the plan-wide baseline delay, so a global
-    // shared_page_visibility_delay composes with a targeted stale window.
-    TimeNs baseline = plan_.shared_page_visibility_delay;
-    sim->At(f.until, [vm, baseline] {
-      vm->shared_page().SetVisibilityDelay(baseline);
-    });
+    sim->At(f.at, Tag(kEvControlStaleStart, i), [this, i] { FireControlStaleStart(i); });
+    sim->At(f.until, Tag(kEvControlStaleEnd, i), [this, i] { FireControlStaleEnd(i); });
   }
+}
+
+void FaultInjector::FireVmCrash(size_t i) {
+  Vm* vm = machine_->vm(plan_.vm_failures[i].vm_index);
+  machine_->CrashVm(vm);
+  ++stats_.vm_crashes;
+  for (const VmHandler& h : crash_handlers_) {
+    h(vm);
+  }
+}
+
+void FaultInjector::FireVmRestart(size_t i) {
+  Vm* vm = machine_->vm(plan_.vm_failures[i].vm_index);
+  machine_->RestartVm(vm);
+  ++stats_.vm_restarts;
+  for (const VmHandler& h : restart_handlers_) {
+    h(vm);
+  }
+}
+
+void FaultInjector::FirePcpuFaultStart(size_t i) {
+  const FaultPlan::PcpuFault& f = plan_.pcpu_faults[i];
+  switch (f.kind) {
+    case FaultPlan::PcpuFault::Kind::kPermanentFailure:
+    case FaultPlan::PcpuFault::Kind::kTransientOffline:
+      machine_->SetPcpuOnline(f.pcpu, false);
+      ++stats_.pcpu_offline_events;
+      break;
+    case FaultPlan::PcpuFault::Kind::kDegrade:
+      machine_->SetPcpuSpeed(f.pcpu, f.speed);
+      ++stats_.pcpu_degrade_events;
+      break;
+  }
+}
+
+void FaultInjector::FirePcpuFaultEnd(size_t i) {
+  const FaultPlan::PcpuFault& f = plan_.pcpu_faults[i];
+  if (f.kind == FaultPlan::PcpuFault::Kind::kTransientOffline) {
+    machine_->SetPcpuOnline(f.pcpu, true);
+    ++stats_.pcpu_online_events;
+  } else {
+    machine_->SetPcpuSpeed(f.pcpu, 1.0);
+    ++stats_.pcpu_heal_events;
+  }
+}
+
+void FaultInjector::FireControlStaleStart(size_t i) {
+  const FaultPlan::ControlFault& f = plan_.control_faults[i];
+  machine_->vm(f.vm_index)->shared_page().SetVisibilityDelay(f.delay);
+  ++stats_.control_stale_windows;
+}
+
+void FaultInjector::FireControlStaleEnd(size_t i) {
+  // Closing the window restores the plan-wide baseline delay, so a global
+  // shared_page_visibility_delay composes with a targeted stale window.
+  const FaultPlan::ControlFault& f = plan_.control_faults[i];
+  machine_->vm(f.vm_index)->shared_page().SetVisibilityDelay(
+      plan_.shared_page_visibility_delay);
 }
 
 void FaultInjector::AdversaryTick(size_t idx, uint64_t step) {
@@ -381,7 +394,120 @@ void FaultInjector::AdversaryTick(size_t idx, uint64_t step) {
       }
     }
   }
-  sim->After(a.period, [this, idx, step] { AdversaryTick(idx, step + 1); });
+  sim->After(a.period,
+             Tag(kEvAdversaryTick, (static_cast<uint64_t>(idx) << 32) | (step + 1)),
+             [this, idx, step] { AdversaryTick(idx, step + 1); });
+}
+
+void FaultInjector::SaveState(ckpt::Writer& w) const {
+  w.Str(rng_.SaveState());
+  w.U64(stats_.hypercall_attempts);
+  w.U64(stats_.injected_failures);
+  w.U64(stats_.injected_drops);
+  w.U64(stats_.injected_spikes);
+  w.U64(stats_.outage_failures);
+  w.U64(stats_.vm_crashes);
+  w.U64(stats_.vm_restarts);
+  w.U64(stats_.pcpu_offline_events);
+  w.U64(stats_.pcpu_online_events);
+  w.U64(stats_.pcpu_degrade_events);
+  w.U64(stats_.pcpu_heal_events);
+  w.U64(stats_.deadline_lies);
+  w.U64(stats_.storm_calls);
+  w.U64(stats_.thrash_calls);
+  w.U64(stats_.control_outage_failures);
+  w.U64(stats_.control_stale_windows);
+}
+
+std::string FaultInjector::RestoreState(ckpt::Reader& r) {
+  if (!rng_.RestoreState(r.Str())) {
+    return "faults: malformed RNG state";
+  }
+  stats_.hypercall_attempts = r.U64();
+  stats_.injected_failures = r.U64();
+  stats_.injected_drops = r.U64();
+  stats_.injected_spikes = r.U64();
+  stats_.outage_failures = r.U64();
+  stats_.vm_crashes = r.U64();
+  stats_.vm_restarts = r.U64();
+  stats_.pcpu_offline_events = r.U64();
+  stats_.pcpu_online_events = r.U64();
+  stats_.pcpu_degrade_events = r.U64();
+  stats_.pcpu_heal_events = r.U64();
+  stats_.deadline_lies = r.U64();
+  stats_.storm_calls = r.U64();
+  stats_.thrash_calls = r.U64();
+  stats_.control_outage_failures = r.U64();
+  stats_.control_stale_windows = r.U64();
+  if (!r.ok()) {
+    return "faults: truncated section";
+  }
+  // Re-arm the synchronous paths only: the interceptor is per-process state
+  // the checkpoint cannot carry, while the planned events come back through
+  // rebind and the page visibility delay through the machine section (so the
+  // Arm()-time SetVisibilityDelay must NOT run again — it would clobber an
+  // in-progress stale-page window).
+  machine_->SetHypercallInterceptor(
+      [this](Vcpu* caller, const HypercallArgs& args) { return OnHypercall(caller, args); });
+  armed_ = true;
+  return "";
+}
+
+std::string FaultInjector::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  Simulator* sim = machine_->sim();
+  switch (kind) {
+    case kEvVmCrash:
+    case kEvVmRestart: {
+      size_t i = payload;
+      if (i >= plan_.vm_failures.size()) {
+        return "faults: event references unknown vm_failures entry " + std::to_string(i);
+      }
+      if (kind == kEvVmCrash) {
+        sim->At(when, Tag(kEvVmCrash, i), [this, i] { FireVmCrash(i); });
+      } else {
+        sim->At(when, Tag(kEvVmRestart, i), [this, i] { FireVmRestart(i); });
+      }
+      return "";
+    }
+    case kEvPcpuFaultStart:
+    case kEvPcpuFaultEnd: {
+      size_t i = payload;
+      if (i >= plan_.pcpu_faults.size()) {
+        return "faults: event references unknown pcpu_faults entry " + std::to_string(i);
+      }
+      if (kind == kEvPcpuFaultStart) {
+        sim->At(when, Tag(kEvPcpuFaultStart, i), [this, i] { FirePcpuFaultStart(i); });
+      } else {
+        sim->At(when, Tag(kEvPcpuFaultEnd, i), [this, i] { FirePcpuFaultEnd(i); });
+      }
+      return "";
+    }
+    case kEvAdversaryTick: {
+      size_t idx = payload >> 32;
+      uint64_t step = payload & 0xffffffffull;
+      if (idx >= plan_.adversarial_guests.size()) {
+        return "faults: event references unknown adversarial campaign " +
+               std::to_string(idx);
+      }
+      sim->At(when, Tag(kEvAdversaryTick, payload),
+              [this, idx, step] { AdversaryTick(idx, step); });
+      return "";
+    }
+    case kEvControlStaleStart:
+    case kEvControlStaleEnd: {
+      size_t i = payload;
+      if (i >= plan_.control_faults.size()) {
+        return "faults: event references unknown control_faults entry " + std::to_string(i);
+      }
+      if (kind == kEvControlStaleStart) {
+        sim->At(when, Tag(kEvControlStaleStart, i), [this, i] { FireControlStaleStart(i); });
+      } else {
+        sim->At(when, Tag(kEvControlStaleEnd, i), [this, i] { FireControlStaleEnd(i); });
+      }
+      return "";
+    }
+  }
+  return "faults: unknown event kind " + std::to_string(kind);
 }
 
 }  // namespace rtvirt

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/bandwidth.h"
 #include "src/common/rng.h"
 #include "src/common/time.h"
@@ -210,7 +211,7 @@ struct FaultStats {
   }
 };
 
-class FaultInjector {
+class FaultInjector : public ckpt::Checkpointable {
  public:
   FaultInjector(Machine* machine, FaultPlan plan);
 
@@ -230,6 +231,25 @@ class FaultInjector {
   void AddCrashHandler(VmHandler handler) { crash_handlers_.push_back(std::move(handler)); }
   void AddRestartHandler(VmHandler handler) { restart_handlers_.push_back(std::move(handler)); }
 
+  // ---- Checkpointing (src/checkpoint) ----
+  // Every planned event is identified by its index into the (identical-by-
+  // construction) FaultPlan, so restore re-creates the exact callback from
+  // the plan rather than serializing closures.
+  static constexpr const char* kCkptSection = "faults";
+  uint64_t ckpt_owner() const { return ckpt_owner_; }
+  enum CkptEventKind : uint32_t {
+    kEvVmCrash = 1,           // Payload = vm_failures index.
+    kEvVmRestart = 2,         // Payload = vm_failures index.
+    kEvPcpuFaultStart = 3,    // Payload = pcpu_faults index.
+    kEvPcpuFaultEnd = 4,      // Payload = pcpu_faults index.
+    kEvAdversaryTick = 5,     // Payload = (campaign index << 32) | step.
+    kEvControlStaleStart = 6, // Payload = control_faults index.
+    kEvControlStaleEnd = 7,   // Payload = control_faults index.
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
+
  private:
   Machine::HypercallFault OnHypercall(Vcpu* caller, const HypercallArgs& args);
   bool InOutage(TimeNs now) const;
@@ -239,6 +259,19 @@ class FaultInjector {
   // alternation (lie flavors, thrash direction) without touching the RNG.
   void AdversaryTick(size_t idx, uint64_t step);
 
+  // Planned-event bodies, indexed into the FaultPlan (shared by Arm() and
+  // checkpoint rebind).
+  void FireVmCrash(size_t i);
+  void FireVmRestart(size_t i);
+  void FirePcpuFaultStart(size_t i);
+  void FirePcpuFaultEnd(size_t i);
+  void FireControlStaleStart(size_t i);
+  void FireControlStaleEnd(size_t i);
+
+  EventTag Tag(uint32_t kind, uint64_t payload) const {
+    return EventTag{ckpt_owner_, kind, payload};
+  }
+
   Machine* machine_;
   FaultPlan plan_;
   Rng rng_;
@@ -246,6 +279,7 @@ class FaultInjector {
   std::vector<VmHandler> crash_handlers_;
   std::vector<VmHandler> restart_handlers_;
   bool armed_ = false;
+  uint64_t ckpt_owner_ = ckpt::Fnv1a64(kCkptSection);
 };
 
 }  // namespace rtvirt

@@ -8,7 +8,9 @@
 namespace rtvirt {
 
 GuestOs::GuestOs(Vm* vm, GuestConfig config)
-    : vm_(vm), config_(config), cross_layer_(std::make_unique<CrossLayerPolicy>()) {
+    : vm_(vm), config_(config), cross_layer_(std::make_unique<CrossLayerPolicy>()),
+      ckpt_section_("guest." + std::to_string(vm->id())),
+      ckpt_owner_(ckpt::Fnv1a64(ckpt_section_)) {
   for (int i = 0; i < vm_->num_vcpus(); ++i) {
     Vcpu* v = vm_->vcpu(i);
     v->set_client(this);
@@ -17,7 +19,7 @@ GuestOs::GuestOs(Vm* vm, GuestConfig config)
     vcpus_.push_back(std::move(vr));
   }
   if (config_.overload.enabled) {
-    sim()->After(config_.overload.pressure_poll, [this] { PressureTick(); });
+    sim()->After(config_.overload.pressure_poll, PressureTag(), [this] { PressureTick(); });
   }
 }
 
@@ -197,7 +199,7 @@ void GuestOs::StartRunning(VcpuRun& vr, Task* task) {
     Vcpu* v = vr.vcpu;
     vr.completion_event =
         sim()->After(SpeedWorkToWall(task->FrontJob().remaining, vr.run_speed_ppb),
-                     [this, v] { OnJobCompletion(RunOf(v)); });
+                     CompletionTag(v->index()), [this, v] { OnJobCompletion(RunOf(v)); });
   }
   // Background tasks have unbounded work: no completion event.
 }
@@ -861,7 +863,7 @@ int GuestOs::AdmitViaOverload(const RtaParams& params) {
 
 void GuestOs::PressureTick() {
   // Fixed cadence regardless of what this tick does.
-  sim()->After(config_.overload.pressure_poll, [this] { PressureTick(); });
+  sim()->After(config_.overload.pressure_poll, PressureTag(), [this] { PressureTick(); });
   if (vm_->crashed() || global_edf()) {
     return;
   }
@@ -975,6 +977,210 @@ bool GuestOs::TryExpandOne() {
   ++overload_stats_.expansions;
   PublishDeadline(vr);
   return true;
+}
+
+void GuestOs::SaveState(ckpt::Writer& w) const {
+  w.I64(global_total_.ppb());
+  w.I64(global_min_period_);
+  w.U64(bg_cursor_);
+  w.U32(static_cast<uint32_t>(pressure_ticks_under_));
+  w.U32(static_cast<uint32_t>(pressure_clear_ticks_));
+  w.U64(overload_stats_.compressions);
+  w.U64(overload_stats_.expansions);
+  w.U64(overload_stats_.sheds);
+  w.U64(overload_stats_.resumes);
+  w.U64(overload_stats_.shed_job_drops);
+  w.U64(overload_stats_.overload_admissions);
+
+  // Tasks are created by the experiment builder in a fixed order; the restore
+  // target has the same tasks_ vector, so indices are stable identifiers.
+  auto index_of = [this](const Task* t) -> uint32_t {
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i].get() == t) {
+        return static_cast<uint32_t>(i);
+      }
+    }
+    return static_cast<uint32_t>(-1);
+  };
+  w.U32(static_cast<uint32_t>(tasks_.size()));
+  for (const auto& t : tasks_) {
+    w.Str(t->name_);
+    w.U8(static_cast<uint8_t>(t->kind_));
+    w.I64(t->params_.slice);
+    w.I64(t->params_.period);
+    w.Bool(t->params_.sporadic);
+    w.U8(static_cast<uint8_t>(t->params_.criticality));
+    w.I64(t->params_.min_slice);
+    w.Bool(t->registered_);
+    w.U32(static_cast<uint32_t>(t->vcpu_index_));
+    w.Bool(t->shed_);
+    w.I64(t->compressed_slice_);
+    w.I64(t->next_release_);
+    w.U64(t->jobs_completed_);
+    w.U32(static_cast<uint32_t>(t->jobs_.size()));
+    for (const Job& j : t->jobs_) {
+      w.I64(j.release);
+      w.I64(j.deadline);
+      w.I64(j.work);
+      w.I64(j.remaining);
+    }
+  }
+
+  w.U32(static_cast<uint32_t>(vcpus_.size()));
+  for (const auto& vr : vcpus_) {
+    w.U32(static_cast<uint32_t>(vr.rtas.size()));
+    for (const Task* t : vr.rtas) {
+      w.U32(index_of(t));
+    }
+    w.I64(vr.reserved.ppb());
+    w.I64(vr.capacity.ppb());
+    w.I64(vr.min_period);
+    w.Bool(vr.on_cpu);
+    w.U32(vr.running != nullptr ? index_of(vr.running) : static_cast<uint32_t>(-1));
+    w.I64(vr.run_start);
+    w.I64(vr.run_speed_ppb);
+  }
+
+  w.U32(static_cast<uint32_t>(global_rtas_.size()));
+  for (const Task* t : global_rtas_) {
+    w.U32(index_of(t));
+  }
+  w.U32(static_cast<uint32_t>(shed_.size()));
+  for (const Task* t : shed_) {
+    w.U32(index_of(t));
+  }
+}
+
+std::string GuestOs::RestoreState(ckpt::Reader& r) {
+  global_total_ = Bandwidth::FromPpb(r.I64());
+  global_min_period_ = r.I64();
+  bg_cursor_ = r.U64();
+  pressure_ticks_under_ = static_cast<int>(r.U32());
+  pressure_clear_ticks_ = static_cast<int>(r.U32());
+  overload_stats_.compressions = r.U64();
+  overload_stats_.expansions = r.U64();
+  overload_stats_.sheds = r.U64();
+  overload_stats_.resumes = r.U64();
+  overload_stats_.shed_job_drops = r.U64();
+  overload_stats_.overload_admissions = r.U64();
+
+  uint32_t n_tasks = r.U32();
+  if (!r.ok() || n_tasks != tasks_.size()) {
+    return ckpt_section_ + ": task count mismatch (checkpoint has " +
+           std::to_string(n_tasks) + ", this guest has " +
+           std::to_string(tasks_.size()) + ")";
+  }
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    Task* t = tasks_[i].get();
+    std::string name = r.Str();
+    if (name != t->name_) {
+      return ckpt_section_ + ": task[" + std::to_string(i) + "] name mismatch (got '" +
+             name + "', this guest has '" + t->name_ + "')";
+    }
+    uint8_t kind = r.U8();
+    if (kind != static_cast<uint8_t>(t->kind_)) {
+      return ckpt_section_ + ": task '" + t->name_ + "' kind mismatch";
+    }
+    t->params_.slice = r.I64();
+    t->params_.period = r.I64();
+    t->params_.sporadic = r.Bool();
+    t->params_.criticality = static_cast<Criticality>(r.U8());
+    t->params_.min_slice = r.I64();
+    t->registered_ = r.Bool();
+    t->vcpu_index_ = static_cast<int>(r.U32());
+    t->shed_ = r.Bool();
+    t->compressed_slice_ = r.I64();
+    t->next_release_ = r.I64();
+    t->jobs_completed_ = r.U64();
+    t->jobs_.clear();
+    uint32_t n_jobs = r.U32();
+    for (uint32_t k = 0; k < n_jobs && r.ok(); ++k) {
+      Job j;
+      j.release = r.I64();
+      j.deadline = r.I64();
+      j.work = r.I64();
+      j.remaining = r.I64();
+      t->jobs_.push_back(j);
+    }
+  }
+
+  auto task_at = [this](uint32_t idx) -> Task* {
+    return idx < tasks_.size() ? tasks_[idx].get() : nullptr;
+  };
+  uint32_t n_vcpus = r.U32();
+  if (!r.ok() || n_vcpus != vcpus_.size()) {
+    // A count mismatch here (after the machine section already validated the
+    // global VCPU census) means runtime hotplug grew the guest mid-run;
+    // such a guest cannot be restored onto a fresh build.
+    return ckpt_section_ + ": VCPU count mismatch (checkpoint has " +
+           std::to_string(n_vcpus) + ", this guest has " +
+           std::to_string(vcpus_.size()) + ")";
+  }
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    VcpuRun& vr = vcpus_[i];
+    vr.rtas.clear();
+    uint32_t n_rtas = r.U32();
+    for (uint32_t k = 0; k < n_rtas && r.ok(); ++k) {
+      Task* t = task_at(r.U32());
+      if (t == nullptr) {
+        return ckpt_section_ + ": vcpu " + std::to_string(i) +
+               " pin set references unknown task";
+      }
+      vr.rtas.push_back(t);
+    }
+    vr.reserved = Bandwidth::FromPpb(r.I64());
+    vr.capacity = Bandwidth::FromPpb(r.I64());
+    vr.min_period = r.I64();
+    vr.on_cpu = r.Bool();
+    uint32_t running = r.U32();
+    vr.running = running == static_cast<uint32_t>(-1) ? nullptr : task_at(running);
+    if (running != static_cast<uint32_t>(-1) && vr.running == nullptr) {
+      return ckpt_section_ + ": vcpu " + std::to_string(i) +
+             " running references unknown task";
+    }
+    vr.run_start = r.I64();
+    vr.run_speed_ppb = r.I64();
+  }
+
+  global_rtas_.clear();
+  uint32_t n_global = r.U32();
+  for (uint32_t k = 0; k < n_global && r.ok(); ++k) {
+    Task* t = task_at(r.U32());
+    if (t == nullptr) {
+      return ckpt_section_ + ": gEDF list references unknown task";
+    }
+    global_rtas_.push_back(t);
+  }
+  shed_.clear();
+  uint32_t n_shed = r.U32();
+  for (uint32_t k = 0; k < n_shed && r.ok(); ++k) {
+    Task* t = task_at(r.U32());
+    if (t == nullptr) {
+      return ckpt_section_ + ": shed list references unknown task";
+    }
+    shed_.push_back(t);
+  }
+  return r.ok() ? "" : ckpt_section_ + ": truncated section";
+}
+
+std::string GuestOs::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  switch (kind) {
+    case kEvPressure:
+      sim()->At(when, PressureTag(), [this] { PressureTick(); });
+      return "";
+    case kEvCompletion: {
+      if (payload >= vcpus_.size()) {
+        return ckpt_section_ + ": completion event references invalid vcpu " +
+               std::to_string(payload);
+      }
+      VcpuRun& vr = vcpus_[payload];
+      Vcpu* v = vr.vcpu;
+      vr.completion_event = sim()->At(when, CompletionTag(v->index()),
+                                      [this, v] { OnJobCompletion(RunOf(v)); });
+      return "";
+    }
+  }
+  return ckpt_section_ + ": unknown event kind " + std::to_string(kind);
 }
 
 std::vector<std::string> GuestOs::AuditInvariants() const {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/bandwidth.h"
 #include "src/common/time.h"
 #include "src/guest/cross_layer.h"
@@ -85,7 +86,7 @@ struct GuestOverloadStats {
   uint64_t overload_admissions = 0; // Registrations admitted only via degradation.
 };
 
-class GuestOs : public VcpuClient {
+class GuestOs : public VcpuClient, public ckpt::Checkpointable {
  public:
   explicit GuestOs(Vm* vm, GuestConfig config = {});
   ~GuestOs() override;
@@ -159,6 +160,18 @@ class GuestOs : public VcpuClient {
   // VcpuClient:
   void OnVcpuGranted(Vcpu* vcpu) override;
   void OnVcpuRevoked(Vcpu* vcpu) override;
+
+  // ---- Checkpointing (src/checkpoint) ----
+  // Section name "guest.<vmid>"; the owner id doubles as the EventTag owner
+  // for the pressure-poll tick and per-VCPU job-completion events.
+  const std::string& ckpt_section() const { return ckpt_section_; }
+  enum CkptEventKind : uint32_t {
+    kEvPressure = 1,    // Overload-control pressure poll (recurring).
+    kEvCompletion = 2,  // Job completion; payload = VCPU index.
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
 
  private:
   struct VcpuRun {
@@ -236,8 +249,15 @@ class GuestOs : public VcpuClient {
   // (true when the host never published — fall back to probing).
   bool HostHeadroomCovers(Bandwidth delta) const;
 
+  EventTag PressureTag() const { return EventTag{ckpt_owner_, kEvPressure, 0}; }
+  EventTag CompletionTag(int vcpu_index) const {
+    return EventTag{ckpt_owner_, kEvCompletion, static_cast<uint64_t>(vcpu_index)};
+  }
+
   Vm* vm_;
   GuestConfig config_;
+  std::string ckpt_section_;
+  uint64_t ckpt_owner_ = 0;
   std::unique_ptr<CrossLayerPolicy> cross_layer_;
   std::vector<VcpuRun> vcpus_;
   std::vector<std::unique_ptr<Task>> tasks_;

@@ -148,4 +148,161 @@ void Machine::NotifyWake(Vcpu* vcpu) { scheduler_->VcpuWake(vcpu); }
 
 void Machine::NotifyBlock(Vcpu* vcpu) { scheduler_->VcpuBlock(vcpu); }
 
+Vcpu* Machine::VcpuByGlobalId(int global_id) const {
+  for (const auto& vm : vms_) {
+    for (const auto& v : vm->vcpus_) {
+      if (v->global_id() == global_id) {
+        return v.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Machine::SaveState(ckpt::Writer& w) const {
+  w.U64(overhead_.schedule_calls);
+  w.I64(overhead_.schedule_time);
+  w.U64(overhead_.context_switches);
+  w.I64(overhead_.context_switch_time);
+  w.U64(overhead_.migrations);
+  w.I64(overhead_.migration_time);
+  w.U64(overhead_.hypercalls);
+  w.I64(overhead_.hypercall_time);
+  w.U64(pcpu_evacuations_);
+  w.U32(static_cast<uint32_t>(next_vcpu_global_id_));
+  w.U32(static_cast<uint32_t>(pcpus_.size()));
+  for (const auto& p : pcpus_) {
+    w.Bool(p->online_);
+    w.I64(p->speed_ppb_);
+    w.U32(static_cast<uint32_t>(p->current_ != nullptr ? p->current_->global_id() : -1));
+    w.Bool(p->granted_);
+    w.I64(p->granted_at_);
+    w.Bool(p->resched_pending_);
+    w.I64(p->run_until_);
+    w.I64(p->busy_time_);
+  }
+  w.U32(static_cast<uint32_t>(vms_.size()));
+  for (const auto& vm : vms_) {
+    w.Str(vm->name_);
+    w.Bool(vm->crashed_);
+    w.U32(static_cast<uint32_t>(vm->weight_));
+    w.U32(static_cast<uint32_t>(vm->vcpus_.size()));
+    for (const auto& v : vm->vcpus_) {
+      w.U8(static_cast<uint8_t>(v->state_));
+      w.U32(static_cast<uint32_t>(v->pcpu_ != nullptr ? v->pcpu_->id() : -1));
+      w.U32(static_cast<uint32_t>(v->last_pcpu_ != nullptr ? v->last_pcpu_->id() : -1));
+      w.I64(v->total_runtime_);
+      w.U64(v->migrations_);
+      w.U64(v->evacuations_);
+      w.I64(v->evacuation_penalty_);
+    }
+    vm->shared_page_.SaveState(w);
+  }
+}
+
+std::string Machine::RestoreState(ckpt::Reader& r) {
+  overhead_.schedule_calls = r.U64();
+  overhead_.schedule_time = r.I64();
+  overhead_.context_switches = r.U64();
+  overhead_.context_switch_time = r.I64();
+  overhead_.migrations = r.U64();
+  overhead_.migration_time = r.I64();
+  overhead_.hypercalls = r.U64();
+  overhead_.hypercall_time = r.I64();
+  pcpu_evacuations_ = r.U64();
+  int global_ids = static_cast<int>(r.U32());
+  if (global_ids != next_vcpu_global_id_) {
+    return "machine: VCPU count mismatch (checkpoint has " +
+           std::to_string(global_ids) + " global ids, this machine has " +
+           std::to_string(next_vcpu_global_id_) + ")";
+  }
+  uint32_t num_pcpus = r.U32();
+  if (!r.ok() || num_pcpus != pcpus_.size()) {
+    return "machine: PCPU count mismatch (checkpoint has " +
+           std::to_string(num_pcpus) + ", this machine has " +
+           std::to_string(pcpus_.size()) + ")";
+  }
+  for (auto& p : pcpus_) {
+    p->online_ = r.Bool();
+    p->speed_ppb_ = r.I64();
+    int current_id = static_cast<int>(r.U32());
+    p->current_ = current_id < 0 ? nullptr : VcpuByGlobalId(current_id);
+    if (current_id >= 0 && p->current_ == nullptr) {
+      return "machine: pcpu " + std::to_string(p->id()) +
+             " references unknown VCPU global id " + std::to_string(current_id);
+    }
+    p->granted_ = r.Bool();
+    p->granted_at_ = r.I64();
+    p->resched_pending_ = r.Bool();
+    p->run_until_ = r.I64();
+    p->busy_time_ = r.I64();
+  }
+  uint32_t num_vms = r.U32();
+  if (!r.ok() || num_vms != vms_.size()) {
+    return "machine: VM count mismatch (checkpoint has " +
+           std::to_string(num_vms) + ", this machine has " +
+           std::to_string(vms_.size()) + ")";
+  }
+  for (auto& vm : vms_) {
+    std::string name = r.Str();
+    if (name != vm->name_) {
+      return "machine: VM " + std::to_string(vm->id()) + " name mismatch (got '" +
+             name + "', this machine has '" + vm->name_ + "')";
+    }
+    vm->crashed_ = r.Bool();
+    vm->weight_ = static_cast<int>(r.U32());
+    uint32_t num_vcpus = r.U32();
+    if (!r.ok() || num_vcpus != vm->vcpus_.size()) {
+      return "machine: VM '" + vm->name_ + "' VCPU count mismatch";
+    }
+    for (auto& v : vm->vcpus_) {
+      uint8_t state = r.U8();
+      if (state > static_cast<uint8_t>(VcpuState::kRunning)) {
+        return "machine: VCPU " + v->name() + " has invalid state " +
+               std::to_string(state);
+      }
+      v->state_ = static_cast<VcpuState>(state);
+      int pcpu_id = static_cast<int>(r.U32());
+      int last_id = static_cast<int>(r.U32());
+      if (pcpu_id >= static_cast<int>(pcpus_.size()) ||
+          last_id >= static_cast<int>(pcpus_.size())) {
+        return "machine: VCPU " + v->name() + " references invalid PCPU";
+      }
+      v->pcpu_ = pcpu_id < 0 ? nullptr : pcpus_[pcpu_id].get();
+      v->last_pcpu_ = last_id < 0 ? nullptr : pcpus_[last_id].get();
+      v->total_runtime_ = r.I64();
+      v->migrations_ = r.U64();
+      v->evacuations_ = r.U64();
+      v->evacuation_penalty_ = r.I64();
+    }
+    std::string err = vm->shared_page_.RestoreState(r);
+    if (!err.empty()) {
+      return "machine: VM '" + vm->name_ + "' " + err;
+    }
+  }
+  // The checkpoint was taken from a started machine; suppress the fresh
+  // Start() kick (the rebound events carry the live schedule).
+  started_ = true;
+  return r.ok() ? "" : "machine: truncated section";
+}
+
+std::string Machine::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  if (payload >= pcpus_.size()) {
+    return "machine: event references invalid pcpu " + std::to_string(payload);
+  }
+  Pcpu* p = pcpus_[payload].get();
+  switch (kind) {
+    case kEvResched:
+      p->CkptRebindResched(when);
+      return "";
+    case kEvSliceEnd:
+      p->CkptRebindSliceEnd(when);
+      return "";
+    case kEvGrant:
+      p->CkptRebindGrant(when);
+      return "";
+  }
+  return "machine: unknown event kind " + std::to_string(kind);
+}
+
 }  // namespace rtvirt

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/time.h"
 #include "src/hv/host_scheduler.h"
 #include "src/hv/hypercall.h"
@@ -38,7 +39,7 @@ struct MachineConfig {
   TimeNs evacuation_penalty = 0;
 };
 
-class Machine {
+class Machine : public ckpt::Checkpointable {
  public:
   Machine(Simulator* sim, MachineConfig config);
   ~Machine();
@@ -128,6 +129,23 @@ class Machine {
   void SetDispatchTracer(DispatchTracer tracer) { dispatch_tracer_ = std::move(tracer); }
   const DispatchTracer& dispatch_tracer() const { return dispatch_tracer_; }
 
+  // ---- Checkpoint support (src/checkpoint) ----
+  // The machine section covers PCPUs (incl. their pending dispatch events),
+  // VMs, VCPUs, shared pages, and overhead accounts. Pcpu tags its events
+  // with ckpt_owner() so the machine rebinds them after a restore.
+  static constexpr const char* kCkptSection = "machine";
+  uint64_t ckpt_owner() const { return ckpt_owner_; }
+  enum CkptEventKind : uint32_t {
+    kEvResched = 1,   // payload = pcpu id; the coalesced reschedule softirq.
+    kEvSliceEnd = 2,  // payload = pcpu id; dispatch horizon timer.
+    kEvGrant = 3,     // payload = pcpu id; end of context-switch overhead.
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
+  // Resolves a serialized VCPU reference; nullptr if no such id.
+  Vcpu* VcpuByGlobalId(int global_id) const;
+
  private:
   friend class Vm;
   friend class Pcpu;
@@ -145,6 +163,7 @@ class Machine {
   DispatchTracer dispatch_tracer_;
   HypercallInterceptor hypercall_interceptor_;
   bool started_ = false;
+  uint64_t ckpt_owner_ = ckpt::Fnv1a64(kCkptSection);
 };
 
 }  // namespace rtvirt

@@ -79,6 +79,15 @@ class Pcpu {
   void Dispatch(Vcpu* vcpu, TimeNs overhead_delay, TimeNs run_until);
   void GrantCurrent();
 
+  // Checkpoint identities of this PCPU's events (owner = machine section) and
+  // the restore-time hooks that re-create them (src/checkpoint).
+  EventTag ReschedTag() const;
+  EventTag SliceEndTag() const;
+  EventTag GrantTag() const;
+  void CkptRebindResched(TimeNs when);
+  void CkptRebindSliceEnd(TimeNs when);
+  void CkptRebindGrant(TimeNs when);
+
   Machine* machine_;
   int id_;
   bool online_ = true;

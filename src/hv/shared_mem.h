@@ -17,8 +17,10 @@
 #ifndef SRC_HV_SHARED_MEM_H_
 #define SRC_HV_SHARED_MEM_H_
 
+#include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/time.h"
 #include "src/sim/simulator.h"
 
@@ -136,6 +138,50 @@ class SharedSchedPage {
   int64_t pressure_reason() const { return pressure_reason_; }
   int64_t pressure_headroom_ppb() const { return pressure_headroom_ppb_; }
   TimeNs pressure_published_at() const { return pressure_published_at_; }
+
+  // Checkpoint support: the page is plain data, serialized inside the
+  // machine section (src/checkpoint).
+  void SaveState(ckpt::Writer& w) const {
+    w.I64(visibility_delay_);
+    w.U32(static_cast<uint32_t>(pressure_level_));
+    w.I64(pressure_reason_);
+    w.I64(pressure_headroom_ppb_);
+    w.I64(pressure_published_at_);
+    w.U32(static_cast<uint32_t>(slots_.size()));
+    for (const Slot& s : slots_) {
+      w.I64(s.next_deadline);
+      w.I64(s.published_at);
+      w.I64(s.alloc_start);
+      w.I64(s.alloc_len);
+      w.Bool(s.has_pending);
+      w.I64(s.pending_deadline);
+      w.I64(s.pending_published_at);
+      w.I64(s.pending_visible_at);
+    }
+  }
+  std::string RestoreState(ckpt::Reader& r) {
+    visibility_delay_ = r.I64();
+    pressure_level_ = static_cast<int>(r.U32());
+    pressure_reason_ = r.I64();
+    pressure_headroom_ppb_ = r.I64();
+    pressure_published_at_ = r.I64();
+    uint32_t n = r.U32();
+    if (!r.ok() || n > kMaxSlots) {
+      return "shared page: bad slot count";
+    }
+    slots_.assign(n, Slot{});
+    for (Slot& s : slots_) {
+      s.next_deadline = r.I64();
+      s.published_at = r.I64();
+      s.alloc_start = r.I64();
+      s.alloc_len = r.I64();
+      s.has_pending = r.Bool();
+      s.pending_deadline = r.I64();
+      s.pending_published_at = r.I64();
+      s.pending_visible_at = r.I64();
+    }
+    return r.ok() ? "" : "shared page: truncated slots";
+  }
 
  private:
   struct Slot {

@@ -1,6 +1,7 @@
 #include "src/metrics/deadline_monitor.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace rtvirt {
 
@@ -35,6 +36,64 @@ int DeadlineMonitor::TasksWithMisses() const {
     }
   }
   return n;
+}
+
+namespace {
+
+void SaveTaskStats(ckpt::Writer& w, const DeadlineMonitor::TaskStats& ts) {
+  w.U64(ts.completed);
+  w.U64(ts.misses);
+  w.I64(ts.max_tardiness);
+  w.I64(ts.max_response);
+}
+
+void RestoreTaskStats(ckpt::Reader& r, DeadlineMonitor::TaskStats* ts) {
+  ts->completed = r.U64();
+  ts->misses = r.U64();
+  ts->max_tardiness = r.I64();
+  ts->max_response = r.I64();
+}
+
+}  // namespace
+
+void DeadlineMonitor::SaveState(ckpt::Writer& w) const {
+  SaveTaskStats(w, total_);
+  // std::map iterates in key order: deterministic across processes.
+  w.U32(static_cast<uint32_t>(per_task_.size()));
+  for (const auto& [name, ts] : per_task_) {
+    w.Str(name);
+    SaveTaskStats(w, ts);
+  }
+  const std::vector<double>& samples = response_us_.raw_values();
+  w.U32(static_cast<uint32_t>(samples.size()));
+  for (double v : samples) {
+    w.F64(v);
+  }
+}
+
+std::string DeadlineMonitor::RestoreState(ckpt::Reader& r) {
+  RestoreTaskStats(r, &total_);
+  per_task_.clear();
+  uint32_t n_tasks = r.U32();
+  for (uint32_t i = 0; i < n_tasks && r.ok(); ++i) {
+    std::string name = r.Str();
+    RestoreTaskStats(r, &per_task_[name]);
+  }
+  uint32_t n_samples = r.U32();
+  std::vector<double> samples;
+  samples.reserve(n_samples);
+  for (uint32_t i = 0; i < n_samples && r.ok(); ++i) {
+    samples.push_back(r.F64());
+  }
+  response_us_.RestoreValues(std::move(samples));
+  return r.ok() ? "" : "monitor: truncated section";
+}
+
+std::string DeadlineMonitor::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  (void)payload;
+  (void)when;
+  return "monitor: owns no events but checkpoint carries event kind " +
+         std::to_string(kind);
 }
 
 }  // namespace rtvirt

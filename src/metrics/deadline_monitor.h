@@ -8,12 +8,13 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/guest/task.h"
 #include "src/sim/stats.h"
 
 namespace rtvirt {
 
-class DeadlineMonitor : public JobObserver {
+class DeadlineMonitor : public JobObserver, public ckpt::Checkpointable {
  public:
   struct TaskStats {
     uint64_t completed = 0;
@@ -44,6 +45,14 @@ class DeadlineMonitor : public JobObserver {
   double WorstTaskMissRatio() const;
   // Number of watched tasks that missed at least one deadline.
   int TasksWithMisses() const;
+
+  // ---- Checkpointing (src/checkpoint) ----
+  // Section "monitor". Purely an accumulator: it owns no simulator events, so
+  // RebindEvent is always an error.
+  static constexpr const char* kCkptSection = "monitor";
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
 
  private:
   TaskStats total_;

@@ -16,19 +16,19 @@ void DpWrapScheduler::Attach(Machine* machine) {
   capacity_ = Bandwidth::Cpus(machine->num_pcpus());
   pcpu_plan_.resize(machine->num_pcpus());
   if (config_.idle_tax.enabled) {
-    tax_event_ = machine_->sim()->After(config_.idle_tax.window, [this] { TaxTick(); });
+    tax_event_ = machine_->sim()->After(config_.idle_tax.window, Tag(kEvTax), [this] { TaxTick(); });
   }
   if (config_.watchdog.reclaim_crashed) {
-    watchdog_event_ =
-        machine_->sim()->After(config_.watchdog.scan_period, [this] { WatchdogTick(); });
+    watchdog_event_ = machine_->sim()->After(config_.watchdog.scan_period, Tag(kEvWatchdog),
+                                             [this] { WatchdogTick(); });
   }
   if (config_.overload.enabled) {
-    overload_event_ =
-        machine_->sim()->After(config_.overload.scan_period, [this] { OverloadTick(); });
+    overload_event_ = machine_->sim()->After(config_.overload.scan_period, Tag(kEvOverload),
+                                             [this] { OverloadTick(); });
   }
   if (config_.guest_trust.enabled) {
-    trust_event_ =
-        machine_->sim()->After(config_.guest_trust.scan_period, [this] { TrustTick(); });
+    trust_event_ = machine_->sim()->After(config_.guest_trust.scan_period, Tag(kEvTrust),
+                                          [this] { TrustTick(); });
   }
 }
 
@@ -85,7 +85,7 @@ void DpWrapScheduler::TrustTick() {
     }
     t.violated_since_scan = false;
   }
-  trust_event_ = machine_->sim()->After(gt.scan_period, [this] { TrustTick(); });
+  trust_event_ = machine_->sim()->After(gt.scan_period, Tag(kEvTrust), [this] { TrustTick(); });
 }
 
 bool DpWrapScheduler::Quarantined(const Vm* vm) const {
@@ -195,8 +195,8 @@ void DpWrapScheduler::OverloadTick() {
     machine_->vm(i)->shared_page().PublishPressure(pressure_ ? 1 : 0, pressure_reason_,
                                                    headroom_ppb);
   }
-  overload_event_ =
-      machine_->sim()->After(config_.overload.scan_period, [this] { OverloadTick(); });
+  overload_event_ = machine_->sim()->After(config_.overload.scan_period, Tag(kEvOverload),
+                                           [this] { OverloadTick(); });
 }
 
 void DpWrapScheduler::WatchdogTick() {
@@ -217,8 +217,8 @@ void DpWrapScheduler::WatchdogTick() {
   if (changed) {
     ScheduleReplan();
   }
-  watchdog_event_ =
-      machine_->sim()->After(config_.watchdog.scan_period, [this] { WatchdogTick(); });
+  watchdog_event_ = machine_->sim()->After(config_.watchdog.scan_period, Tag(kEvWatchdog),
+                                           [this] { WatchdogTick(); });
 }
 
 void DpWrapScheduler::AccountRun(Vcpu* vcpu, TimeNs ran) {
@@ -246,7 +246,7 @@ void DpWrapScheduler::TaxTick() {
     }
     res.used_in_window = 0;
   }
-  tax_event_ = machine_->sim()->After(config_.idle_tax.window, [this] { TaxTick(); });
+  tax_event_ = machine_->sim()->After(config_.idle_tax.window, Tag(kEvTax), [this] { TaxTick(); });
   if (changed) {
     ScheduleReplan();
   }
@@ -331,7 +331,7 @@ void DpWrapScheduler::ScheduleReplan() {
     return;
   }
   replan_pending_ = true;
-  machine_->sim()->After(0, [this] {
+  machine_->sim()->After(0, Tag(kEvDeferredReplan), [this] {
     replan_pending_ = false;
     Replan();
   });
@@ -568,7 +568,7 @@ void DpWrapScheduler::Replan() {
     v->vm()->shared_page().PublishAllocation(v->index(), segs.front().start, alloc);
   }
 
-  replan_event_ = sim->At(slice_end_, [this] { Replan(); });
+  replan_event_ = sim->At(slice_end_, Tag(kEvReplan), [this] { Replan(); });
   TickleAll();
 }
 
@@ -685,7 +685,8 @@ void DpWrapScheduler::VcpuWake(Vcpu* vcpu) {
         return;
       }
       if (!early_replan_event_.valid()) {
-        early_replan_event_ = machine_->sim()->At(earliest, [this] { Replan(); });
+        early_replan_event_ =
+            machine_->sim()->At(earliest, Tag(kEvEarlyReplan), [this] { Replan(); });
       }
       // The deferral costs this reservation bw * (earliest - now) of supply
       // before its deadline; compensate through the carry accumulator so the
@@ -890,6 +891,334 @@ int64_t DpWrapScheduler::Hypercall(Vcpu* caller, const HypercallArgs& args) {
     ScheduleReplan();
   }
   return rc;
+}
+
+void DpWrapScheduler::SaveState(ckpt::Writer& w) const {
+  w.I64(capacity_.ppb());
+  w.I64(total_.ppb());
+  w.U64(next_order_);
+  w.I64(slice_start_);
+  w.I64(slice_end_);
+  w.Bool(replan_pending_);
+  w.U64(be_cursor_);
+  w.U32(static_cast<uint32_t>(tickle_cursor_));
+  w.U64(replans_);
+  w.U64(watchdog_reclaims_);
+  w.U64(stale_rejections_);
+  w.U64(capacity_replans_);
+  w.Bool(pressure_);
+  w.I64(pressure_reason_);
+  w.U64(rejections_since_tick_);
+  w.U64(pressure_raises_);
+  w.U64(pressure_clears_);
+  w.U64(shed_releases_);
+  w.U64(admission_rejections_);
+  w.U64(deadline_lie_rejections_);
+  w.U64(deadline_floor_clamps_);
+  w.U64(replan_budget_trips_);
+  w.U64(hypercall_rate_rejections_);
+  w.U64(bw_thrash_trips_);
+  w.U64(quarantines_);
+  w.U64(quarantine_releases_);
+  w.U64(quarantine_holds_);
+
+  // VCPU insertion order drives the best-effort round-robin; serialize the
+  // global-id sequence so a restored scheduler validates it saw the same one.
+  w.U32(static_cast<uint32_t>(all_vcpus_.size()));
+  for (const Vcpu* v : all_vcpus_) {
+    w.U32(static_cast<uint32_t>(v->global_id()));
+  }
+
+  // Pointer-keyed maps are serialized in id order so the byte stream (and
+  // hence the divergence digest) is independent of hash-table layout.
+  std::vector<std::pair<const Vcpu*, const Reservation*>> res_sorted;
+  res_sorted.reserve(reservations_.size());
+  for (const auto& [v, res] : reservations_) {
+    res_sorted.push_back({v, &res});
+  }
+  std::sort(res_sorted.begin(), res_sorted.end(), [](const auto& a, const auto& b) {
+    return a.first->global_id() < b.first->global_id();
+  });
+  w.U32(static_cast<uint32_t>(res_sorted.size()));
+  for (const auto& [v, res] : res_sorted) {
+    w.U32(static_cast<uint32_t>(v->global_id()));
+    w.I64(res->bw.ppb());
+    w.I64(res->period);
+    w.U64(res->order);
+    w.I64(res->carry_ppb);
+    w.U32(static_cast<uint32_t>(res->affinity));
+    w.I64(res->used_in_window);
+    w.F64(res->tax_factor);
+    w.I64(res->last_lie_publish);
+    w.I64(res->last_floor_publish);
+  }
+
+  std::vector<std::pair<int, int>> pins;
+  pins.reserve(pending_affinity_.size());
+  for (const auto& [v, pin] : pending_affinity_) {
+    pins.push_back({v->global_id(), pin});
+  }
+  std::sort(pins.begin(), pins.end());
+  w.U32(static_cast<uint32_t>(pins.size()));
+  for (const auto& [gid, pin] : pins) {
+    w.U32(static_cast<uint32_t>(gid));
+    w.U32(static_cast<uint32_t>(pin));
+  }
+
+  auto save_segment = [&w](const PlanSegment& seg) {
+    w.U32(static_cast<uint32_t>(seg.vcpu->global_id()));
+    w.U32(static_cast<uint32_t>(seg.pcpu));
+    w.I64(seg.start);
+    w.I64(seg.end);
+  };
+  w.U32(static_cast<uint32_t>(pcpu_plan_.size()));
+  for (const auto& plan : pcpu_plan_) {
+    w.U32(static_cast<uint32_t>(plan.size()));
+    for (const PlanSegment& seg : plan) {
+      save_segment(seg);
+    }
+  }
+  std::vector<std::pair<const Vcpu*, const std::vector<PlanSegment>*>> segs_sorted;
+  segs_sorted.reserve(vcpu_segments_.size());
+  for (const auto& [v, segs] : vcpu_segments_) {
+    segs_sorted.push_back({v, &segs});
+  }
+  std::sort(segs_sorted.begin(), segs_sorted.end(), [](const auto& a, const auto& b) {
+    return a.first->global_id() < b.first->global_id();
+  });
+  w.U32(static_cast<uint32_t>(segs_sorted.size()));
+  for (const auto& [v, segs] : segs_sorted) {
+    w.U32(static_cast<uint32_t>(v->global_id()));
+    w.U32(static_cast<uint32_t>(segs->size()));
+    for (const PlanSegment& seg : *segs) {
+      save_segment(seg);
+    }
+  }
+
+  w.U32(static_cast<uint32_t>(held_demand_.size()));
+  for (const HeldDemand& h : held_demand_) {
+    w.I64(h.expires);
+    w.I64(h.bw.ppb());
+  }
+
+  std::vector<std::pair<const Vm*, const VmTrust*>> trust_sorted;
+  trust_sorted.reserve(trust_.size());
+  for (const auto& [vm, t] : trust_) {
+    trust_sorted.push_back({vm, &t});
+  }
+  std::sort(trust_sorted.begin(), trust_sorted.end(),
+            [](const auto& a, const auto& b) { return a.first->id() < b.first->id(); });
+  w.U32(static_cast<uint32_t>(trust_sorted.size()));
+  for (const auto& [vm, t] : trust_sorted) {
+    w.U32(static_cast<uint32_t>(vm->id()));
+    w.F64(t->tokens);
+    w.I64(t->token_time);
+    w.Bool(t->bucket_init);
+    w.I64(t->window_start);
+    w.U32(static_cast<uint32_t>(t->floor_bindings));
+    w.U32(static_cast<uint32_t>(t->bw_flips));
+    w.U32(static_cast<uint32_t>(t->last_bw_dir + 1));
+    w.Bool(t->deadlines_distrusted);
+    w.F64(t->score);
+    w.Bool(t->quarantined);
+    w.U32(static_cast<uint32_t>(t->clean_scans));
+    w.Bool(t->violated_since_scan);
+  }
+}
+
+std::string DpWrapScheduler::RestoreState(ckpt::Reader& r) {
+  capacity_ = Bandwidth::FromPpb(r.I64());
+  total_ = Bandwidth::FromPpb(r.I64());
+  next_order_ = r.U64();
+  slice_start_ = r.I64();
+  slice_end_ = r.I64();
+  replan_pending_ = r.Bool();
+  be_cursor_ = r.U64();
+  tickle_cursor_ = static_cast<int>(r.U32());
+  replans_ = r.U64();
+  watchdog_reclaims_ = r.U64();
+  stale_rejections_ = r.U64();
+  capacity_replans_ = r.U64();
+  pressure_ = r.Bool();
+  pressure_reason_ = r.I64();
+  rejections_since_tick_ = r.U64();
+  pressure_raises_ = r.U64();
+  pressure_clears_ = r.U64();
+  shed_releases_ = r.U64();
+  admission_rejections_ = r.U64();
+  deadline_lie_rejections_ = r.U64();
+  deadline_floor_clamps_ = r.U64();
+  replan_budget_trips_ = r.U64();
+  hypercall_rate_rejections_ = r.U64();
+  bw_thrash_trips_ = r.U64();
+  quarantines_ = r.U64();
+  quarantine_releases_ = r.U64();
+  quarantine_holds_ = r.U64();
+
+  uint32_t n_vcpus = r.U32();
+  if (!r.ok() || n_vcpus != all_vcpus_.size()) {
+    return "dpwrap: VCPU insertion-order mismatch (checkpoint has " +
+           std::to_string(n_vcpus) + ", scheduler has " +
+           std::to_string(all_vcpus_.size()) + ")";
+  }
+  for (size_t i = 0; i < all_vcpus_.size(); ++i) {
+    int gid = static_cast<int>(r.U32());
+    if (gid != all_vcpus_[i]->global_id()) {
+      return "dpwrap: VCPU insertion order diverges at position " + std::to_string(i);
+    }
+  }
+
+  auto lookup = [this](int gid) -> Vcpu* {
+    for (Vcpu* v : all_vcpus_) {
+      if (v->global_id() == gid) {
+        return v;
+      }
+    }
+    return nullptr;
+  };
+
+  reservations_.clear();
+  uint32_t n_res = r.U32();
+  for (uint32_t i = 0; i < n_res && r.ok(); ++i) {
+    int gid = static_cast<int>(r.U32());
+    Vcpu* v = lookup(gid);
+    if (v == nullptr) {
+      return "dpwrap: reservation[" + std::to_string(i) +
+             "] references unknown VCPU global id " + std::to_string(gid);
+    }
+    Reservation res;
+    res.vcpu = v;
+    res.bw = Bandwidth::FromPpb(r.I64());
+    res.period = r.I64();
+    res.order = r.U64();
+    res.carry_ppb = r.I64();
+    res.affinity = static_cast<int>(r.U32());
+    res.used_in_window = r.I64();
+    res.tax_factor = r.F64();
+    res.last_lie_publish = r.I64();
+    res.last_floor_publish = r.I64();
+    reservations_[v] = res;
+  }
+
+  pending_affinity_.clear();
+  uint32_t n_pins = r.U32();
+  for (uint32_t i = 0; i < n_pins && r.ok(); ++i) {
+    int gid = static_cast<int>(r.U32());
+    int pin = static_cast<int>(r.U32());
+    Vcpu* v = lookup(gid);
+    if (v == nullptr) {
+      return "dpwrap: pending affinity references unknown VCPU " + std::to_string(gid);
+    }
+    pending_affinity_[v] = pin;
+  }
+
+  auto load_segment = [&r, &lookup](PlanSegment* seg) -> bool {
+    int gid = static_cast<int>(r.U32());
+    seg->vcpu = lookup(gid);
+    seg->pcpu = static_cast<int>(r.U32());
+    seg->start = r.I64();
+    seg->end = r.I64();
+    return seg->vcpu != nullptr;
+  };
+  uint32_t n_plans = r.U32();
+  if (!r.ok() || n_plans != pcpu_plan_.size()) {
+    return "dpwrap: PCPU plan count mismatch";
+  }
+  for (auto& plan : pcpu_plan_) {
+    plan.clear();
+    uint32_t n_segs = r.U32();
+    for (uint32_t i = 0; i < n_segs && r.ok(); ++i) {
+      PlanSegment seg;
+      if (!load_segment(&seg)) {
+        return "dpwrap: plan segment references unknown VCPU";
+      }
+      plan.push_back(seg);
+    }
+  }
+  vcpu_segments_.clear();
+  uint32_t n_vseg = r.U32();
+  for (uint32_t i = 0; i < n_vseg && r.ok(); ++i) {
+    int gid = static_cast<int>(r.U32());
+    Vcpu* v = lookup(gid);
+    if (v == nullptr) {
+      return "dpwrap: segment map references unknown VCPU " + std::to_string(gid);
+    }
+    uint32_t n_segs = r.U32();
+    std::vector<PlanSegment>& segs = vcpu_segments_[v];
+    for (uint32_t k = 0; k < n_segs && r.ok(); ++k) {
+      PlanSegment seg;
+      if (!load_segment(&seg)) {
+        return "dpwrap: segment map entry references unknown VCPU";
+      }
+      segs.push_back(seg);
+    }
+  }
+
+  held_demand_.clear();
+  uint32_t n_held = r.U32();
+  for (uint32_t i = 0; i < n_held && r.ok(); ++i) {
+    HeldDemand h;
+    h.expires = r.I64();
+    h.bw = Bandwidth::FromPpb(r.I64());
+    held_demand_.push_back(h);
+  }
+
+  trust_.clear();
+  uint32_t n_trust = r.U32();
+  for (uint32_t i = 0; i < n_trust && r.ok(); ++i) {
+    int vm_id = static_cast<int>(r.U32());
+    if (machine_ == nullptr || vm_id < 0 || vm_id >= machine_->num_vms()) {
+      return "dpwrap: trust entry references unknown VM " + std::to_string(vm_id);
+    }
+    VmTrust t;
+    t.tokens = r.F64();
+    t.token_time = r.I64();
+    t.bucket_init = r.Bool();
+    t.window_start = r.I64();
+    t.floor_bindings = static_cast<int>(r.U32());
+    t.bw_flips = static_cast<int>(r.U32());
+    t.last_bw_dir = static_cast<int>(r.U32()) - 1;
+    t.deadlines_distrusted = r.Bool();
+    t.score = r.F64();
+    t.quarantined = r.Bool();
+    t.clean_scans = static_cast<int>(r.U32());
+    t.violated_since_scan = r.Bool();
+    trust_[machine_->vm(vm_id)] = t;
+  }
+  return r.ok() ? "" : "dpwrap: truncated section";
+}
+
+std::string DpWrapScheduler::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  (void)payload;
+  Simulator* sim = machine_->sim();
+  switch (kind) {
+    case kEvTax:
+      tax_event_ = sim->At(when, Tag(kEvTax), [this] { TaxTick(); });
+      return "";
+    case kEvWatchdog:
+      watchdog_event_ = sim->At(when, Tag(kEvWatchdog), [this] { WatchdogTick(); });
+      return "";
+    case kEvOverload:
+      overload_event_ = sim->At(when, Tag(kEvOverload), [this] { OverloadTick(); });
+      return "";
+    case kEvTrust:
+      trust_event_ = sim->At(when, Tag(kEvTrust), [this] { TrustTick(); });
+      return "";
+    case kEvReplan:
+      replan_event_ = sim->At(when, Tag(kEvReplan), [this] { Replan(); });
+      return "";
+    case kEvEarlyReplan:
+      early_replan_event_ = sim->At(when, Tag(kEvEarlyReplan), [this] { Replan(); });
+      return "";
+    case kEvDeferredReplan:
+      // replan_pending_ was restored true; this is its coalescing event.
+      sim->At(when, Tag(kEvDeferredReplan), [this] {
+        replan_pending_ = false;
+        Replan();
+      });
+      return "";
+  }
+  return "dpwrap: unknown event kind " + std::to_string(kind);
 }
 
 std::vector<std::string> DpWrapScheduler::AuditPlan() const {

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/bandwidth.h"
 #include "src/common/time.h"
 #include "src/hv/host_scheduler.h"
@@ -167,7 +168,7 @@ struct DpWrapConfig {
   Watchdog watchdog;
 };
 
-class DpWrapScheduler : public HostScheduler {
+class DpWrapScheduler : public HostScheduler, public ckpt::Checkpointable {
  public:
   explicit DpWrapScheduler(DpWrapConfig config = {});
 
@@ -232,6 +233,21 @@ class DpWrapScheduler : public HostScheduler {
       fn(v, res.bw, res.period);
     }
   }
+
+  // ---- Checkpoint support (src/checkpoint) ----
+  static constexpr const char* kCkptSection = "dpwrap";
+  enum CkptEventKind : uint32_t {
+    kEvTax = 1,
+    kEvWatchdog = 2,
+    kEvOverload = 3,
+    kEvTrust = 4,
+    kEvReplan = 5,          // Slice-end replan timer.
+    kEvEarlyReplan = 6,     // Deferred wake-triggered replan.
+    kEvDeferredReplan = 7,  // Coalesced After(0) replan (replan_pending_).
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
 
   // Self-check of the scheduler's bookkeeping and of the current plan
   // (segments in bounds and non-overlapping, per-VCPU supply within the
@@ -330,6 +346,8 @@ class DpWrapScheduler : public HostScheduler {
   // VMs after enough consecutive clean scans.
   void TrustTick();
 
+  EventTag Tag(uint32_t kind) const { return EventTag{ckpt_owner_, kind, 0}; }
+
   DpWrapConfig config_;
   Bandwidth capacity_;
   std::unordered_map<const Vcpu*, Reservation> reservations_;
@@ -384,6 +402,7 @@ class DpWrapScheduler : public HostScheduler {
   uint64_t quarantines_ = 0;
   uint64_t quarantine_releases_ = 0;
   uint64_t quarantine_holds_ = 0;          // Bandwidth raises held while quarantined.
+  uint64_t ckpt_owner_ = ckpt::Fnv1a64(kCkptSection);
 };
 
 }  // namespace rtvirt

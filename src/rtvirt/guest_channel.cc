@@ -1,6 +1,8 @@
 #include "src/rtvirt/guest_channel.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace rtvirt {
 
@@ -98,7 +100,8 @@ void RtvirtGuestChannel::ScheduleRepair(VcpuState& st, Vcpu* vcpu) {
     st.repair_backoff = std::max<TimeNs>(options_.retry_backoff, 1);
   }
   uint64_t gen = generation_;
-  machine_->sim()->After(st.repair_backoff, [this, vcpu, gen] { RepairTick(vcpu, gen); });
+  machine_->sim()->After(st.repair_backoff, RepairTag(vcpu, gen),
+                         [this, vcpu, gen] { RepairTick(vcpu, gen); });
   st.repair_backoff = std::min(
       static_cast<TimeNs>(static_cast<double>(st.repair_backoff) * options_.retry_backoff_mult),
       options_.repair_backoff_max);
@@ -265,6 +268,93 @@ void RtvirtGuestChannel::PublishNextDeadline(Vcpu* vcpu, TimeNs deadline) {
 void RtvirtGuestChannel::Reset() {
   state_.clear();
   ++generation_;
+}
+
+void RtvirtGuestChannel::SaveState(ckpt::Writer& w) const {
+  w.U64(generation_);
+  w.U64(stats_.transient_failures);
+  w.U64(stats_.retries);
+  w.U64(stats_.retry_successes);
+  w.U64(stats_.degraded_entries);
+  w.U64(stats_.recoveries);
+  w.U64(stats_.repair_attempts);
+  w.I64(stats_.backoff_time);
+  std::vector<std::pair<const Vcpu*, const VcpuState*>> sorted;
+  sorted.reserve(state_.size());
+  for (const auto& [v, st] : state_) {
+    sorted.push_back({v, &st});
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.first->global_id() < b.first->global_id();
+  });
+  w.U32(static_cast<uint32_t>(sorted.size()));
+  for (const auto& [v, st] : sorted) {
+    w.U32(static_cast<uint32_t>(v->global_id()));
+    w.I64(st->rta_bw.ppb());
+    w.I64(st->rta_period);
+    w.I64(st->granted.ppb());
+    w.I64(st->granted_period);
+    w.I64(st->desired.ppb());
+    w.I64(st->desired_period);
+    w.Bool(st->degraded);
+    w.I64(st->cached_deadline);
+    w.I64(st->repair_backoff);
+    w.Bool(st->repair_scheduled);
+  }
+}
+
+std::string RtvirtGuestChannel::RestoreState(ckpt::Reader& r) {
+  generation_ = r.U64();
+  stats_.transient_failures = r.U64();
+  stats_.retries = r.U64();
+  stats_.retry_successes = r.U64();
+  stats_.degraded_entries = r.U64();
+  stats_.recoveries = r.U64();
+  stats_.repair_attempts = r.U64();
+  stats_.backoff_time = r.I64();
+  state_.clear();
+  uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    int gid = static_cast<int>(r.U32());
+    Vcpu* v = machine_->VcpuByGlobalId(gid);
+    if (v == nullptr) {
+      return ckpt_section_ + ": entry[" + std::to_string(i) +
+             "] references unknown VCPU global id " + std::to_string(gid);
+    }
+    VcpuState st;
+    st.rta_bw = Bandwidth::FromPpb(r.I64());
+    st.rta_period = r.I64();
+    st.granted = Bandwidth::FromPpb(r.I64());
+    st.granted_period = r.I64();
+    st.desired = Bandwidth::FromPpb(r.I64());
+    st.desired_period = r.I64();
+    st.degraded = r.Bool();
+    st.cached_deadline = r.I64();
+    st.repair_backoff = r.I64();
+    st.repair_scheduled = r.Bool();
+    state_[v] = st;
+  }
+  return r.ok() ? "" : ckpt_section_ + ": truncated section";
+}
+
+std::string RtvirtGuestChannel::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  if (kind != kEvRepair) {
+    return ckpt_section_ + ": unknown event kind " + std::to_string(kind);
+  }
+  int gid = static_cast<int>(payload >> 32);
+  // Generations count VM crashes, so the low 32 bits recover the value
+  // exactly; a stale pre-Reset() tick still compares unequal and is ignored.
+  uint64_t gen = payload & 0xffffffffull;
+  Vcpu* vcpu = machine_->VcpuByGlobalId(gid);
+  if (vcpu == nullptr) {
+    return ckpt_section_ + ": repair event references unknown VCPU global id " +
+           std::to_string(gid);
+  }
+  // Fire-and-forget (the channel never cancels repair ticks); repair_backoff
+  // was saved post-multiplication, so rebinding must not advance it again.
+  machine_->sim()->At(when, RepairTag(vcpu, gen),
+                      [this, vcpu, gen] { RepairTick(vcpu, gen); });
+  return "";
 }
 
 }  // namespace rtvirt

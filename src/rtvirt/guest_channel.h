@@ -21,8 +21,10 @@
 #define SRC_RTVIRT_GUEST_CHANNEL_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/bandwidth.h"
 #include "src/common/time.h"
 #include "src/guest/cross_layer.h"
@@ -70,7 +72,7 @@ struct ChannelStats {
   TimeNs backoff_time = 0;          // Virtual time spent backing off in-call.
 };
 
-class RtvirtGuestChannel : public CrossLayerPolicy {
+class RtvirtGuestChannel : public CrossLayerPolicy, public ckpt::Checkpointable {
  public:
   explicit RtvirtGuestChannel(Machine* machine, GuestChannelOptions options = {})
       : machine_(machine), options_(options) {}
@@ -101,6 +103,23 @@ class RtvirtGuestChannel : public CrossLayerPolicy {
   Bandwidth GrantedBw(const Vcpu* vcpu) const;
   TimeNs GrantedPeriod(const Vcpu* vcpu) const;
 
+  // ---- Checkpointing (src/checkpoint) ----
+  // The experiment names this channel's section ("channel.<vmid>") right
+  // after construction, before any repair event can exist; until then the
+  // owner is 0 and repair events would be untagged (SaveCheckpoint rejects
+  // untagged events, so a mis-wired channel fails loudly, not silently).
+  void SetCkptSection(const std::string& section) {
+    ckpt_section_ = section;
+    ckpt_owner_ = ckpt::Fnv1a64(section);
+  }
+  const std::string& ckpt_section() const { return ckpt_section_; }
+  enum CkptEventKind : uint32_t {
+    kEvRepair = 1,  // Payload = (vcpu global id << 32) | (generation & 0xffffffff).
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
+
  private:
   struct VcpuState {
     // Raw RTA demand of the last request the channel accepted.
@@ -125,8 +144,15 @@ class RtvirtGuestChannel : public CrossLayerPolicy {
   void RepairTick(Vcpu* vcpu, uint64_t generation);
   VcpuState& StateOf(Vcpu* vcpu) { return state_[vcpu]; }
 
+  EventTag RepairTag(const Vcpu* vcpu, uint64_t gen) const {
+    return EventTag{ckpt_owner_, kEvRepair,
+                    (static_cast<uint64_t>(vcpu->global_id()) << 32) | (gen & 0xffffffffull)};
+  }
+
   Machine* machine_;
   GuestChannelOptions options_;
+  std::string ckpt_section_;
+  uint64_t ckpt_owner_ = 0;
   std::unordered_map<const Vcpu*, VcpuState> state_;
   ChannelStats stats_;
   // Bumped by Reset(): pending repair events from before a VM crash are

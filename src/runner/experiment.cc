@@ -1,6 +1,7 @@
 #include "src/runner/experiment.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -75,6 +76,15 @@ Experiment::Experiment(ExperimentConfig config)
   if (config_.control.enabled) {
     controller_ = std::make_unique<SloController>(&sim_, config_.control);
   }
+  // Built-in checkpoint registry entries, in serialization order. Guests and
+  // channels join in AddGuest; workloads/monitors via RegisterCheckpointable.
+  checkpointables_.emplace_back(Machine::kCkptSection, machine_.get());
+  if (dpwrap_ != nullptr) {
+    checkpointables_.emplace_back(DpWrapScheduler::kCkptSection, dpwrap_);
+  }
+  if (injector_ != nullptr) {
+    checkpointables_.emplace_back(FaultInjector::kCkptSection, injector_.get());
+  }
 }
 
 Experiment::~Experiment() = default;
@@ -96,7 +106,15 @@ GuestOs* Experiment::AddGuest(const std::string& name, int vcpus, GuestConfig gu
   if (auditor_ != nullptr) {
     auditor_->WatchGuest(guests_.back().get(), channel);
   }
-  return guests_.back().get();
+  GuestOs* added = guests_.back().get();
+  checkpointables_.emplace_back(added->ckpt_section(), added);
+  if (channel != nullptr) {
+    // Named here (not in the channel constructor) because the channel learns
+    // its VM id only through the guest; no repair event can exist yet.
+    channel->SetCkptSection("channel." + std::to_string(vm->id()));
+    checkpointables_.emplace_back(channel->ckpt_section(), channel);
+  }
+  return added;
 }
 
 GuestOs* Experiment::GuestOf(const Vm* vm) const {
@@ -224,6 +242,202 @@ ResilienceCounters Experiment::resilience() const {
   c.peak_rss_kb = perf::PeakRssKb();
   c.event_queue = sim_.queue_stats();
   return c;
+}
+
+void Experiment::RegisterCheckpointable(const std::string& section,
+                                        ckpt::Checkpointable* component) {
+  assert(component != nullptr);
+  for (const auto& [name, c] : checkpointables_) {
+    assert(name != section && "duplicate checkpoint section name");
+    (void)c;
+  }
+  checkpointables_.emplace_back(section, component);
+}
+
+namespace {
+
+// Fixed sections every checkpoint carries besides the component registry:
+// "sim" (clock), "rng" (experiment RNG), "events" (live event tags, last).
+constexpr size_t kFixedSections = 3;
+
+std::string HexOwner(uint64_t owner) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(owner));
+  return buf;
+}
+
+}  // namespace
+
+std::string Experiment::SaveCheckpoint(ckpt::Image* out) const {
+  if (config_.framework != Framework::kRtvirt) {
+    return std::string("checkpoint: framework ") + FrameworkName(config_.framework) +
+           " is not checkpointable (RTVirt only)";
+  }
+  if (config_.audit.enabled) {
+    return "checkpoint: audit.enabled is not checkpointable";
+  }
+  if (config_.control.enabled) {
+    return "checkpoint: control.enabled is not checkpointable";
+  }
+  if (config_.report_alloc) {
+    return "checkpoint: report_alloc is not checkpointable";
+  }
+  if (!started_) {
+    return "checkpoint: experiment has not started (nothing to save)";
+  }
+  out->sections.clear();
+  {
+    ckpt::Writer w;
+    w.I64(sim_.Now());
+    w.U64(sim_.events_processed());
+    out->sections.push_back({"sim", w.Take()});
+  }
+  {
+    ckpt::Writer w;
+    w.Str(rng_.SaveState());
+    out->sections.push_back({"rng", w.Take()});
+  }
+  for (const auto& [name, component] : checkpointables_) {
+    ckpt::Writer w;
+    component->SaveState(w);
+    out->sections.push_back({name, w.Take()});
+  }
+  // Live events go last: restore rebinds them only after every component has
+  // its state back. Collected in (time, seq) order; rebinding in that order
+  // onto a fresh queue assigns ascending sequence numbers, preserving the
+  // relative order of same-instant events — the continuation stays
+  // byte-identical.
+  std::vector<EventQueue::LiveEvent> live;
+  sim_.CollectLiveEvents(&live);
+  ckpt::Writer w;
+  w.U32(static_cast<uint32_t>(live.size()));
+  for (const auto& e : live) {
+    if (!e.tag.tagged()) {
+      return "checkpoint: untagged live event at t=" + std::to_string(e.time) +
+             "ns (a schedule site outside the rebind registry)";
+    }
+    bool known = false;
+    for (const auto& [name, component] : checkpointables_) {
+      if (ckpt::Fnv1a64(name) == e.tag.owner) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return "checkpoint: live event at t=" + std::to_string(e.time) +
+             "ns has unregistered owner " + HexOwner(e.tag.owner);
+    }
+    w.U64(e.tag.owner);
+    w.U32(e.tag.kind);
+    w.U64(e.tag.payload);
+    w.I64(e.time);
+  }
+  out->sections.push_back({"events", w.Take()});
+  return "";
+}
+
+std::string Experiment::RestoreCheckpoint(const ckpt::Image& image) {
+  if (config_.framework != Framework::kRtvirt) {
+    return std::string("checkpoint: framework ") + FrameworkName(config_.framework) +
+           " is not checkpointable (RTVirt only)";
+  }
+  if (config_.audit.enabled || config_.control.enabled || config_.report_alloc) {
+    return "checkpoint: restore target enables a non-checkpointable feature "
+           "(audit/control/report_alloc)";
+  }
+  if (started_) {
+    return "checkpoint: restore requires a freshly built experiment (already started)";
+  }
+  const size_t expected = checkpointables_.size() + kFixedSections;
+  if (image.sections.size() != expected) {
+    return "checkpoint: component count mismatch (image has " +
+           std::to_string(image.sections.size()) + " sections, this experiment expects " +
+           std::to_string(expected) + ")";
+  }
+  const ckpt::Section* sim_section = image.Find("sim");
+  if (sim_section == nullptr) {
+    return "checkpoint: missing section 'sim'";
+  }
+  const ckpt::Section* rng_section = image.Find("rng");
+  if (rng_section == nullptr) {
+    return "checkpoint: missing section 'rng'";
+  }
+  const ckpt::Section* events_section = image.Find("events");
+  if (events_section == nullptr) {
+    return "checkpoint: missing section 'events'";
+  }
+  // Point of no return: from here on any failure leaves the experiment
+  // unusable, so every path below returns a loud error rather than limping on
+  // with partial state.
+  sim_.ClearEventsForRestore();
+  {
+    ckpt::Reader r(sim_section->bytes);
+    TimeNs now = r.I64();
+    uint64_t processed = r.U64();
+    if (!r.ok() || !r.AtEnd()) {
+      return "checkpoint: malformed section 'sim'";
+    }
+    sim_.RestoreClock(now, processed);
+  }
+  {
+    ckpt::Reader r(rng_section->bytes);
+    std::string state = r.Str();
+    if (!r.ok() || !r.AtEnd() || !rng_.RestoreState(state)) {
+      return "checkpoint: malformed section 'rng'";
+    }
+  }
+  for (const auto& [name, component] : checkpointables_) {
+    const ckpt::Section* section = image.Find(name);
+    if (section == nullptr) {
+      return "checkpoint: missing section '" + name + "'";
+    }
+    ckpt::Reader r(section->bytes);
+    std::string err = component->RestoreState(r);
+    if (!err.empty()) {
+      return "checkpoint: " + err;
+    }
+    if (!r.AtEnd()) {
+      return "checkpoint: section '" + name + "' has trailing bytes";
+    }
+  }
+  {
+    ckpt::Reader r(events_section->bytes);
+    uint32_t count = r.U32();
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t owner = r.U64();
+      uint32_t kind = r.U32();
+      uint64_t payload = r.U64();
+      TimeNs when = r.I64();
+      if (!r.ok()) {
+        return "checkpoint: truncated section 'events' at event " + std::to_string(i);
+      }
+      ckpt::Checkpointable* target = nullptr;
+      for (const auto& [name, component] : checkpointables_) {
+        if (ckpt::Fnv1a64(name) == owner) {
+          target = component;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        return "checkpoint: events[" + std::to_string(i) + "] has unknown owner " +
+               HexOwner(owner);
+      }
+      std::string err = target->RebindEvent(kind, payload, when);
+      if (!err.empty()) {
+        return "checkpoint: " + err;
+      }
+    }
+    if (!r.AtEnd()) {
+      return "checkpoint: section 'events' has trailing bytes";
+    }
+  }
+  // The restored components re-created their armed/started flags themselves
+  // (machine started, injector interceptor installed), so the next Run() must
+  // skip Arm()/Start() and go straight to RunUntil.
+  started_ = true;
+  warmup_recorded_ = true;
+  warmup_end_alloc_ = perf::AllocNow();
+  return "";
 }
 
 void Experiment::PrintReport(std::ostream& out, const std::string& title) const {

@@ -11,6 +11,7 @@
 
 #include "src/audit/invariant_auditor.h"
 #include "src/baselines/credit.h"
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/rng.h"
 #include "src/baselines/server_edf.h"
 #include "src/control/slo_controller.h"
@@ -117,6 +118,29 @@ class Experiment {
   // Aggregates injector, per-guest channel, host watchdog/capacity, and
   // auditor counters.
   ResilienceCounters resilience() const;
+
+  // ---- Checkpoint / restore (src/checkpoint, DESIGN.md §10) ----
+  // Registers an externally owned component (workload driver, monitor) whose
+  // state belongs in checkpoints of this experiment. Built-in components
+  // (machine, scheduler, injector, guests, channels) are pre-registered.
+  // Call before the first SaveCheckpoint/RestoreCheckpoint, in the same order
+  // on the saving and the restoring build.
+  void RegisterCheckpointable(const std::string& section, ckpt::Checkpointable* component);
+
+  // Serializes the full simulation state (clock, live events via their tags,
+  // RNG, every registered component) into `out`. Returns "" on success, else
+  // an error naming the unsupported config or unregistered event. Requires a
+  // started experiment on the default path: audit, control, report_alloc and
+  // non-RTVirt frameworks are rejected (their components are not yet
+  // checkpointable).
+  std::string SaveCheckpoint(ckpt::Image* out) const;
+
+  // Restores `image` onto this freshly built (never Run) experiment, which
+  // must have been constructed by the same builder code as the saver. On
+  // success the experiment behaves as if it had simulated to the checkpoint
+  // instant: the next Run(until) continues byte-identically. Never partially
+  // applies silently: any error is returned naming the offending section.
+  std::string RestoreCheckpoint(const ckpt::Image& image);
   // The standard end-of-run report: resilience counters (including the PCPU
   // fault/recovery and audit sections when those fired) under a title line.
   void PrintReport(std::ostream& out, const std::string& title) const;
@@ -135,6 +159,9 @@ class Experiment {
   std::unique_ptr<SloController> controller_;
   Rng rng_;
   bool started_ = false;
+  // Checkpoint registry, in serialization order. Owners are Fnv1a64(name);
+  // rebind dispatches each live event's tag owner back to its component.
+  std::vector<std::pair<std::string, ckpt::Checkpointable*>> checkpointables_;
   // Allocation attribution: everything up to the end of the first Run() call
   // (construction, guest/workload setup, machine start) is warm-up; the rest
   // is steady state. Snapshots of the global alloc_hooks counters.

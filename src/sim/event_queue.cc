@@ -238,13 +238,15 @@ void EventQueue::MaybeResize() {
   }
 }
 
-EventQueue::EventId EventQueue::Schedule(TimeNs when, Callback cb) {
+EventQueue::EventId EventQueue::Schedule(TimeNs when, const EventTag& tag,
+                                         Callback cb) {
   ++stats_.schedules;
   EventId id;
   if (kind_ == EventQueueKind::kCalendar) {
     EventNode* n = AllocNode();
     n->time = when;
     n->seq = next_seq_++;
+    n->tag = tag;
     n->callback = std::move(cb);
     BucketInsert(n);
     ++live_count_;
@@ -266,6 +268,7 @@ EventQueue::EventId EventQueue::Schedule(TimeNs when, Callback cb) {
   ++stats_.node_allocs;
   n->time = when;
   n->seq = next_seq_++;
+  n->tag = tag;
   n->callback = std::move(cb);
   heap_.push_back(HeapEntry{when, n->seq, n});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
@@ -385,6 +388,50 @@ EventQueue::Fired EventQueue::PopNext() {
   heap_.pop_back();
   --live_count_;
   return fired;
+}
+
+void EventQueue::CollectLive(std::vector<LiveEvent>* out) const {
+  size_t base = out->size();
+  if (kind_ == EventQueueKind::kCalendar) {
+    for (const Bucket& b : buckets_) {
+      for (EventNode* n = b.head; n != nullptr; n = n->next) {
+        out->push_back(LiveEvent{n->time, n->seq, n->tag});
+      }
+    }
+  } else {
+    for (const HeapEntry& e : heap_) {
+      if (!e.node->cancelled) {
+        out->push_back(LiveEvent{e.node->time, e.node->seq, e.node->tag});
+      }
+    }
+  }
+  std::sort(out->begin() + base, out->end(),
+            [](const LiveEvent& a, const LiveEvent& b) { return a.seq < b.seq; });
+}
+
+void EventQueue::Clear() {
+  if (kind_ == EventQueueKind::kCalendar) {
+    for (Bucket& b : buckets_) {
+      EventNode* n = b.head;
+      while (n != nullptr) {
+        EventNode* next = n->next;
+        FreeNode(n);  // Bumps gen: stale EventIds cancel as no-ops.
+        n = next;
+      }
+      b.head = nullptr;
+      b.tail = nullptr;
+    }
+    cached_min_ = nullptr;
+    pos_abs_ = 0;
+  } else {
+    for (HeapEntry& e : heap_) {
+      e.node->cancelled = true;  // A late Cancel() through an EventId is a no-op.
+      e.node->callback = nullptr;
+    }
+    heap_.clear();
+    heap_cancelled_ = 0;
+  }
+  live_count_ = 0;
 }
 
 const EventQueueStats& EventQueue::stats() const {

@@ -32,6 +32,18 @@ namespace rtvirt {
 
 struct EventNode;
 
+// Checkpoint identity of a scheduled event (src/checkpoint). Tagged events
+// carry the owning component's id (FNV-1a of its checkpoint section name)
+// plus a component-private (kind, payload) pair sufficient to re-create the
+// callback on restore. owner == 0 means untagged: the event cannot survive a
+// checkpoint, and SaveCheckpoint fails loudly if one is live.
+struct EventTag {
+  uint64_t owner = 0;
+  uint32_t kind = 0;
+  uint64_t payload = 0;
+  bool tagged() const { return owner != 0; }
+};
+
 // Operation and allocation counters, cheap enough to maintain always. The
 // perf recorder reads these to assert the zero-alloc steady state, and the
 // heap-compaction regression test reads `backlog` to assert bounded memory.
@@ -78,10 +90,26 @@ class EventQueue {
 
   EventQueueKind kind() const { return kind_; }
 
-  EventId Schedule(TimeNs when, Callback cb);
+  EventId Schedule(TimeNs when, Callback cb) {
+    return Schedule(when, EventTag{}, std::move(cb));
+  }
+  EventId Schedule(TimeNs when, const EventTag& tag, Callback cb);
 
   // Cancels the event if it has not fired yet; resets `id` to inert.
   void Cancel(EventId& id);
+
+  // Checkpoint support: snapshot of one pending event's identity.
+  struct LiveEvent {
+    TimeNs time;
+    uint64_t seq;
+    EventTag tag;
+  };
+  // Appends every pending event (in seq order, which also fixes same-time
+  // firing order) to `out`.
+  void CollectLive(std::vector<LiveEvent>* out) const;
+  // Drops every pending event. Calendar nodes return to the arena with their
+  // generation bumped, so EventIds held by components cancel as no-ops.
+  void Clear();
 
   bool empty() const { return live_count_ == 0; }
   size_t size() const { return live_count_; }
@@ -167,6 +195,7 @@ struct EventNode {
   // EventId's generation no longer matches, making its Cancel() a no-op.
   uint64_t gen = 0;
   bool cancelled = false;  // Heap backend: lazy tombstone.
+  EventTag tag;            // Checkpoint identity; owner 0 = untagged.
   EventNode* prev = nullptr;
   EventNode* next = nullptr;  // Bucket list link, doubles as freelist link.
   EventQueue::Callback callback;

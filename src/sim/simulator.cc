@@ -6,11 +6,11 @@
 
 namespace rtvirt {
 
-Simulator::EventId Simulator::At(TimeNs when, Callback cb) {
+Simulator::EventId Simulator::At(TimeNs when, const EventTag& tag, Callback cb) {
   RTVIRT_CHECK(when >= now_,
                "event scheduled in the past: when=%lld ns < now=%lld ns",
                static_cast<long long>(when), static_cast<long long>(now_));
-  return queue_.Schedule(when, std::move(cb));
+  return queue_.Schedule(when, tag, std::move(cb));
 }
 
 void Simulator::RunUntil(TimeNs end) {

@@ -23,10 +23,17 @@ class Simulator {
   TimeNs Now() const { return now_; }
 
   // Schedules `cb` at absolute time `when` (must be >= Now()).
-  EventId At(TimeNs when, Callback cb);
+  EventId At(TimeNs when, Callback cb) { return At(when, EventTag{}, std::move(cb)); }
+
+  // Tagged variant: the event carries a checkpoint identity so it can be
+  // re-created after a restore (src/checkpoint).
+  EventId At(TimeNs when, const EventTag& tag, Callback cb);
 
   // Schedules `cb` `delay` ns from now.
   EventId After(TimeNs delay, Callback cb) { return At(now_ + delay, std::move(cb)); }
+  EventId After(TimeNs delay, const EventTag& tag, Callback cb) {
+    return At(now_ + delay, tag, std::move(cb));
+  }
 
   void Cancel(EventId& id) { queue_.Cancel(id); }
 
@@ -41,6 +48,19 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   // Operation/allocation counters of the underlying event queue.
   const EventQueueStats& queue_stats() const { return queue_.stats(); }
+
+  // Checkpoint support (src/checkpoint). CollectLiveEvents snapshots every
+  // pending event's (time, seq, tag); ClearEventsForRestore drops them all
+  // so a restored image can re-create the queue from scratch; RestoreClock
+  // moves the clock without running anything.
+  void CollectLiveEvents(std::vector<EventQueue::LiveEvent>* out) const {
+    queue_.CollectLive(out);
+  }
+  void ClearEventsForRestore() { queue_.Clear(); }
+  void RestoreClock(TimeNs now, uint64_t events_processed) {
+    now_ = now;
+    events_processed_ = events_processed;
+  }
 
  private:
   TimeNs now_ = 0;

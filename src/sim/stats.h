@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rtvirt {
@@ -39,6 +40,15 @@ class Samples {
     double fraction;
   };
   std::vector<CdfPoint> Cdf(size_t points) const;
+
+  // Checkpoint accessors: the raw sample vector in its current order.
+  // Restoring marks the set unsorted; the next ordered query re-sorts, which
+  // yields the same bytes either way (sorting is deterministic).
+  const std::vector<double>& raw_values() const { return values_; }
+  void RestoreValues(std::vector<double> values) {
+    values_ = std::move(values);
+    sorted_ = false;
+  }
 
  private:
   void EnsureSorted() const;

@@ -127,6 +127,10 @@ std::string DescribeExit(int status, const std::string& child_stderr) {
   bool ok = WriteAll(data_fd, &kMagic, 1);
   uint8_t okbyte = r.ok ? 1 : 0;
   ok = ok && WriteAll(data_fd, &okbyte, 1);
+  uint8_t resumed = r.resumed ? 1 : 0;
+  ok = ok && WriteAll(data_fd, &resumed, 1);
+  int64_t resume_point = r.resume_point_ns;
+  ok = ok && WriteAll(data_fd, &resume_point, sizeof(resume_point));
   WriteString(data_fd, r.reason, ok);
   WriteString(data_fd, r.report, ok);
   // _exit, not exit: no atexit handlers or static destructors in the child,
@@ -233,12 +237,15 @@ ProcAttemptOutcome RunShardAttemptInProcess(const ShardFn& fn, const ShardContex
     out.reason = buf;
     return out;
   }
-  // A complete record requires the magic byte, the ok flag, and both
-  // length-prefixed strings.
-  if (data.size() >= 2 && static_cast<uint8_t>(data[0]) == kMagic) {
-    size_t off = 2;
+  // A complete record requires the magic byte, the ok and resumed flags, the
+  // resume point, and both length-prefixed strings.
+  if (data.size() >= 3 + sizeof(int64_t) && static_cast<uint8_t>(data[0]) == kMagic) {
+    size_t off = 3;
     ShardResult r;
     r.ok = data[1] != 0;
+    r.resumed = data[2] != 0;
+    std::memcpy(&r.resume_point_ns, data.data() + off, sizeof(r.resume_point_ns));
+    off += sizeof(r.resume_point_ns);
     if (ReadString(data, off, r.reason) && ReadString(data, off, r.report)) {
       out.kind = r.ok ? AttemptKind::kClean : AttemptKind::kFailed;
       out.result = std::move(r);

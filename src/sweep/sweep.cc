@@ -86,6 +86,9 @@ std::string SweepReport::Merged() const {
     if (s.recovered) {
       os << " recovered";
     }
+    if (s.resumed) {
+      os << " resumed@" << s.resume_point_ns << "ns";
+    }
     if (!s.reason.empty()) {
       os << " [" << (s.outcome == Outcome::kClean ? "last failure: " : "") << s.reason
          << "]";
@@ -95,7 +98,13 @@ std::string SweepReport::Merged() const {
   os << "sweep: shards=" << shards.size() << " clean=" << clean
      << " recovered=" << recovered << " unresolved=" << unresolved
      << " retries=" << retries << " timeouts=" << timeouts
-     << " check_failures=" << check_failures << " crashes=" << crashes << "\n";
+     << " check_failures=" << check_failures << " crashes=" << crashes;
+  if (resumed > 0) {
+    // Only with checkpointing enabled, so default-path reports keep their
+    // exact historical bytes.
+    os << " resumed=" << resumed;
+  }
+  os << "\n";
   return os.str();
 }
 
@@ -222,6 +231,8 @@ bool ShardSupervisor::RecordResult(int shard, int attempt, const ShardResult& re
   }
   s.out.recovered = s.attempts > 1;
   s.out.report = result.report;
+  s.out.resumed = result.resumed;
+  s.out.resume_point_ns = result.resume_point_ns;
   Terminalize(s, Outcome::kClean);
   return true;
 }
@@ -259,6 +270,9 @@ SweepReport ShardSupervisor::BuildReport() const {
       if (s.out.recovered) {
         ++r.recovered;
       }
+      if (s.out.resumed) {
+        ++r.resumed;
+      }
     } else {
       ++r.unresolved;
     }
@@ -288,6 +302,11 @@ ShardContext MakeContext(const SweepConfig& config, int shard, int attempt,
   ctx.attempt = attempt;
   ctx.seed = DeriveSeed(config.base_seed, static_cast<uint64_t>(shard));
   ctx.cancel = cancel;
+  if (!config.checkpoint_dir.empty() && config.checkpoint_every_ms > 0) {
+    ctx.checkpoint_path =
+        config.checkpoint_dir + "/shard." + std::to_string(shard) + ".ckpt";
+    ctx.checkpoint_every_ms = config.checkpoint_every_ms;
+  }
   return ctx;
 }
 

@@ -61,6 +61,12 @@ struct ShardResult {
   bool ok = true;      // false = contained, retryable failure (see reason).
   std::string reason;  // Failure description when !ok.
   std::string report;  // Shard-local report text, merged in shard order.
+  // Crash-resume reporting (DESIGN.md §10): bodies that continued from a
+  // persisted checkpoint instead of simulating from t=0 set resumed and the
+  // virtual instant the checkpoint restored to, so the merged report
+  // distinguishes resumed attempts from cold restarts.
+  bool resumed = false;
+  int64_t resume_point_ns = -1;
 };
 
 // Handed to the shard body on each attempt.
@@ -72,6 +78,15 @@ struct ShardContext {
   // Long-running shard bodies should poll it and bail out; bodies that
   // cannot are only hard-reclaimable under kProcess isolation.
   const std::atomic<bool>* cancel = nullptr;
+  // Crash-resume plumbing: empty unless SweepConfig::checkpoint_dir is set,
+  // then "<dir>/shard.<idx>.ckpt" — the same path on every attempt of a
+  // shard, so a retry can pick up the previous attempt's last good
+  // checkpoint. The sweep only carries the path; the body owns the file
+  // (persist cadence below, atomic writes via ckpt::WriteFileAtomic).
+  std::string checkpoint_path;
+  // Suggested persist cadence in *virtual* milliseconds, from
+  // SweepConfig::checkpoint_every_ms (0 = checkpointing off).
+  int64_t checkpoint_every_ms = 0;
 
   bool Cancelled() const {
     return cancel != nullptr && cancel->load(std::memory_order_relaxed);
@@ -103,6 +118,10 @@ struct ShardOutcome {
   AttemptKind last_failure = AttemptKind::kClean;  // kClean = never failed.
   std::string reason;            // Last failure reason ("" if never failed).
   std::string report;            // From the successful attempt ("" if none).
+  // From the successful attempt's ShardResult: it continued from a persisted
+  // checkpoint (vs a cold restart from t=0), and from which virtual instant.
+  bool resumed = false;
+  int64_t resume_point_ns = -1;
 };
 
 struct SweepReport {
@@ -111,6 +130,7 @@ struct SweepReport {
   int recovered = 0;
   int unresolved = 0;  // Terminal kFailed/kTimeout/kExhausted.
   int retries = 0;     // Dispatches beyond each shard's first attempt.
+  int resumed = 0;     // Clean shards whose winning attempt resumed from a checkpoint.
   int timeouts = 0;        // Watchdog firings (any attempt).
   int check_failures = 0;  // Captured RTVIRT_CHECK failures (any attempt).
   int crashes = 0;         // Hard child deaths (any attempt).
@@ -137,6 +157,15 @@ struct SweepConfig {
   int64_t backoff_cap_ms = 1000;    // ...saturating here.
   uint64_t base_seed = 1;  // ShardContext::seed = DeriveSeed(base_seed, shard).
   Clock* clock = nullptr;  // Null = RealClock(). Injected by policy tests.
+  // Crash-resume (DESIGN.md §10). When checkpoint_dir is non-empty, every
+  // attempt of shard i receives ShardContext::checkpoint_path =
+  // "<dir>/shard.<i>.ckpt" (the directory must exist; the caller owns its
+  // lifecycle — stale files from a previous sweep will be resumed from).
+  // checkpoint_every_ms asks the shard body to persist its latest checkpoint
+  // every that many virtual milliseconds; 0 disables checkpointing even with
+  // a directory set.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_ms = 0;
 };
 
 inline constexpr int64_t kNoWake = std::numeric_limits<int64_t>::max();

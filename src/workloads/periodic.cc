@@ -1,11 +1,14 @@
 #include "src/workloads/periodic.h"
 
+#include <string>
 #include <utility>
 
 namespace rtvirt {
 
 PeriodicRta::PeriodicRta(GuestOs* guest, std::string name, RtaParams params)
-    : guest_(guest), task_(guest->CreateTask(std::move(name))), params_(params) {
+    : guest_(guest), task_(guest->CreateTask(std::move(name))), params_(params),
+      ckpt_section_("wl." + task_->name()),
+      ckpt_owner_(ckpt::Fnv1a64(ckpt_section_)) {
   params_.sporadic = false;
 }
 
@@ -15,7 +18,7 @@ void PeriodicRta::Start(TimeNs start, TimeNs stop) {
   if (start <= sim->Now()) {
     Register();
   } else {
-    sim->At(start, [this] { Register(); });
+    sim->At(start, Tag(kEvRegister), [this] { Register(); });
   }
 }
 
@@ -25,7 +28,7 @@ void PeriodicRta::Register() {
   admission_result_ = guest_->SchedSetAttr(task_, params_);
   if (admission_result_ != kGuestOk) {
     if (admission_retry_ > 0 && sim->Now() + admission_retry_ < stop_) {
-      sim->After(admission_retry_, [this] { Register(); });
+      sim->After(admission_retry_, Tag(kEvRegister), [this] { Register(); });
     }
     return;
   }
@@ -45,7 +48,40 @@ void PeriodicRta::ReleaseOne() {
   // publication sees it.
   task_->set_next_release(now + params_.period);
   guest_->ReleaseJob(task_, job_work_ > 0 ? job_work_ : params_.slice, now + params_.period);
-  release_event_ = sim->After(params_.period, [this] { ReleaseOne(); });
+  release_event_ = sim->After(params_.period, Tag(kEvRelease), [this] { ReleaseOne(); });
+}
+
+void PeriodicRta::SaveState(ckpt::Writer& w) const {
+  w.I64(stop_);
+  w.I64(job_work_);
+  w.I64(admission_retry_);
+  w.U32(static_cast<uint32_t>(admission_result_));
+  w.U32(static_cast<uint32_t>(admission_attempts_));
+  w.I64(admitted_at_);
+}
+
+std::string PeriodicRta::RestoreState(ckpt::Reader& r) {
+  stop_ = r.I64();
+  job_work_ = r.I64();
+  admission_retry_ = r.I64();
+  admission_result_ = static_cast<int>(r.U32());
+  admission_attempts_ = static_cast<int>(r.U32());
+  admitted_at_ = r.I64();
+  return r.ok() ? "" : ckpt_section_ + ": truncated section";
+}
+
+std::string PeriodicRta::RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) {
+  (void)payload;
+  Simulator* sim = guest_->vm()->machine()->sim();
+  switch (kind) {
+    case kEvRegister:
+      sim->At(when, Tag(kEvRegister), [this] { Register(); });
+      return "";
+    case kEvRelease:
+      release_event_ = sim->At(when, Tag(kEvRelease), [this] { ReleaseOne(); });
+      return "";
+  }
+  return ckpt_section_ + ": unknown event kind " + std::to_string(kind);
 }
 
 }  // namespace rtvirt

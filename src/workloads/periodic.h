@@ -6,12 +6,13 @@
 
 #include <string>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/guest/guest_os.h"
 #include "src/sim/simulator.h"
 
 namespace rtvirt {
 
-class PeriodicRta {
+class PeriodicRta : public ckpt::Checkpointable {
  public:
   // Creates the task in `guest`; it is registered and started by Start().
   PeriodicRta(GuestOs* guest, std::string name, RtaParams params);
@@ -42,9 +43,23 @@ class PeriodicRta {
   // Time of the first successful registration; kTimeNever if never admitted.
   TimeNs admitted_at() const { return admitted_at_; }
 
+  // ---- Checkpointing (src/checkpoint) ----
+  // Section "wl.<task name>". The task's own fields live in the guest
+  // section; this one carries the driver's release chain.
+  const std::string& ckpt_section() const { return ckpt_section_; }
+  enum CkptEventKind : uint32_t {
+    kEvRegister = 1,  // Initial or retried sched_setattr.
+    kEvRelease = 2,   // Periodic job release.
+  };
+  void SaveState(ckpt::Writer& w) const override;
+  std::string RestoreState(ckpt::Reader& r) override;
+  std::string RebindEvent(uint32_t kind, uint64_t payload, TimeNs when) override;
+
  private:
   void Register();
   void ReleaseOne();
+
+  EventTag Tag(uint32_t kind) const { return EventTag{ckpt_owner_, kind, 0}; }
 
   GuestOs* guest_;
   Task* task_;
@@ -56,6 +71,8 @@ class PeriodicRta {
   int admission_attempts_ = 0;
   TimeNs admitted_at_ = kTimeNever;
   Simulator::EventId release_event_;
+  std::string ckpt_section_;
+  uint64_t ckpt_owner_ = 0;
 };
 
 }  // namespace rtvirt
